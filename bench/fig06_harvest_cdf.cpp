@@ -1,0 +1,54 @@
+// Figure 6 — CDFs of response latency (a) and speedup (b) for the six
+// platforms on the single trace set / single-node cluster, plus the headline
+// reductions (§8.3.1, §8.3.2).
+#include <iostream>
+
+#include "exp/platforms.h"
+#include "exp/report.h"
+#include "exp/runner.h"
+#include "workload/function_catalog.h"
+#include "workload/trace.h"
+
+using namespace libra;
+
+int main() {
+  auto catalog = std::make_shared<const sim::FunctionCatalog>(
+      workload::sebs_catalog());
+  const auto trace = workload::single_node_trace(*catalog, 7);
+
+  util::print_banner(std::cout,
+                     "Figure 6 — latency & speedup CDFs, six platforms, "
+                     "single set (165 invocations), 1 node x 72c/72GB");
+
+  std::vector<exp::NamedRun> runs;
+  for (auto kind :
+       {exp::PlatformKind::kDefault, exp::PlatformKind::kFreyr,
+        exp::PlatformKind::kLibra, exp::PlatformKind::kLibraNS,
+        exp::PlatformKind::kLibraNP, exp::PlatformKind::kLibraNSP}) {
+    auto policy = exp::make_platform(kind, catalog);
+    runs.push_back({exp::platform_name(kind),
+                    exp::run_experiment(exp::single_node_config(), policy,
+                                        trace)});
+  }
+
+  exp::cdf_table("Fig 6(a) — response latency CDF (s)", runs,
+                 &sim::RunMetrics::response_latencies,
+                 exp::default_quantiles())
+      .print(std::cout);
+  exp::cdf_table("Fig 6(b) — speedup CDF (Eq. 1)", runs,
+                 &sim::RunMetrics::speedups, exp::default_quantiles())
+      .print(std::cout);
+  exp::summary_table("Headline summary", runs).print(std::cout);
+  exp::outcome_table("Invocation outcomes", runs).print(std::cout);
+
+  const double p99_default = runs[0].metrics.p99_latency();
+  const double p99_freyr = runs[1].metrics.p99_latency();
+  const double p99_libra = runs[2].metrics.p99_latency();
+  std::cout << "\nPaper: Libra reduces P99 by 50% vs Default, 39% vs Freyr."
+            << "\nMeasured: "
+            << util::Table::pct((p99_default - p99_libra) / p99_default)
+            << " vs Default, "
+            << util::Table::pct((p99_freyr - p99_libra) / p99_freyr)
+            << " vs Freyr.\n";
+  return 0;
+}

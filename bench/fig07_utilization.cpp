@@ -1,0 +1,63 @@
+// Figure 7 — CPU/memory allocation and utilization timelines of the six
+// platforms, plus the average-utilization ratios and completion-time deltas
+// quoted in §8.3.
+#include <iostream>
+
+#include "exp/platforms.h"
+#include "exp/report.h"
+#include "exp/runner.h"
+#include "workload/function_catalog.h"
+#include "workload/trace.h"
+
+using namespace libra;
+using util::Table;
+
+int main() {
+  auto catalog = std::make_shared<const sim::FunctionCatalog>(
+      workload::sebs_catalog());
+  const auto trace = workload::single_node_trace(*catalog, 7);
+
+  util::print_banner(std::cout,
+                     "Figure 7 — utilization timelines, six platforms");
+
+  std::vector<exp::NamedRun> runs;
+  for (auto kind :
+       {exp::PlatformKind::kDefault, exp::PlatformKind::kFreyr,
+        exp::PlatformKind::kLibra, exp::PlatformKind::kLibraNS,
+        exp::PlatformKind::kLibraNP, exp::PlatformKind::kLibraNSP}) {
+    auto policy = exp::make_platform(kind, catalog);
+    runs.push_back({exp::platform_name(kind),
+                    exp::run_experiment(exp::single_node_config(), policy,
+                                        trace)});
+  }
+
+  for (const auto& run : runs) {
+    exp::utilization_timeline_table("Timeline — " + run.name, run.metrics, 12)
+        .print(std::cout);
+  }
+
+  Table ratios("Average utilization & completion vs Libra (paper: Libra = "
+               "3.82x/2.09x CPU, 2.93x/2.48x mem of Default/Freyr)");
+  ratios.set_header({"platform", "avg cpu util", "avg mem util",
+                     "libra cpu ratio", "libra mem ratio", "completion(s)",
+                     "libra faster by"});
+  const auto& libra = runs[2].metrics;
+  for (const auto& run : runs) {
+    const auto& m = run.metrics;
+    ratios.add_row(
+        {run.name, Table::pct(m.avg_cpu_utilization()),
+         Table::pct(m.avg_mem_utilization()),
+         Table::fmt(libra.avg_cpu_utilization() /
+                        std::max(1e-9, m.avg_cpu_utilization()),
+                    2) + "x",
+         Table::fmt(libra.avg_mem_utilization() /
+                        std::max(1e-9, m.avg_mem_utilization()),
+                    2) + "x",
+         Table::fmt(m.workload_completion_time(), 1),
+         Table::pct((m.workload_completion_time() -
+                     libra.workload_completion_time()) /
+                    std::max(1e-9, m.workload_completion_time()))});
+  }
+  ratios.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Figure 9 — P99 end-to-end response latency of five scheduling algorithms
+// across the ten multi trace sets (10..300 RPM) on the 4-node cluster.
+// Harvesting/acceleration is enabled on all five for a fair comparison
+// (§8.4); only node selection differs.
+#include <iostream>
+
+#include "exp/platforms.h"
+#include "exp/report.h"
+#include "exp/runner.h"
+#include "workload/function_catalog.h"
+#include "workload/trace.h"
+
+using namespace libra;
+using util::Table;
+
+int main() {
+  auto catalog = std::make_shared<const sim::FunctionCatalog>(
+      workload::sebs_catalog());
+  const std::vector<exp::SchedulerKind> kinds = {
+      exp::SchedulerKind::kDefaultHash, exp::SchedulerKind::kRoundRobin,
+      exp::SchedulerKind::kJsq, exp::SchedulerKind::kMws,
+      exp::SchedulerKind::kCoverage};
+
+  util::print_banner(std::cout,
+                     "Figure 9 — P99 latency of 5 scheduling algorithms vs "
+                     "RPM (4 nodes x 32c/32GB)");
+
+  Table table("P99 end-to-end response latency (s)");
+  std::vector<std::string> header = {"RPM"};
+  for (auto k : kinds) header.push_back(exp::scheduler_name(k));
+  table.set_header(header);
+
+  std::vector<double> libra_wins;
+  for (double rpm : workload::multi_set_rpms()) {
+    const auto trace = workload::multi_trace(*catalog, rpm, 5);
+    std::vector<std::string> row = {Table::fmt(rpm, 0)};
+    double best_other = 1e18, libra_p99 = 0;
+    for (auto kind : kinds) {
+      auto policy = exp::make_scheduler_platform(kind, catalog);
+      auto m = exp::run_experiment(exp::multi_node_config(), policy, trace);
+      const double p99 = m.p99_latency();
+      row.push_back(Table::fmt(p99, 2));
+      if (kind == exp::SchedulerKind::kCoverage)
+        libra_p99 = p99;
+      else
+        best_other = std::min(best_other, p99);
+    }
+    libra_wins.push_back(libra_p99 <= best_other * 1.02 ? 1.0 : 0.0);
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+
+  int wins = 0;
+  for (double w : libra_wins) wins += static_cast<int>(w);
+  std::cout << "\nPaper: Libra consistently achieves the lowest P99 across "
+               "all traces.\nMeasured: Libra at/near best (within 2%) on "
+            << wins << "/" << libra_wins.size() << " RPM settings.\n";
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Figure 16 — demand-coverage weight sensitivity: CPU/memory idle values
+// and P99 latency as alpha sweeps 0 -> 1 on the multi-node cluster at
+// 120 RPM (§8.8). Higher alpha makes the scheduler chase CPU coverage.
+#include <iostream>
+
+#include "exp/platforms.h"
+#include "exp/report.h"
+#include "exp/runner.h"
+#include "workload/function_catalog.h"
+#include "workload/trace.h"
+
+using namespace libra;
+using util::Table;
+
+int main() {
+  auto catalog = std::make_shared<const sim::FunctionCatalog>(
+      workload::sebs_catalog());
+  const auto trace = workload::multi_trace(*catalog, 120, 5);
+
+  util::print_banner(std::cout,
+                     "Figure 16 — coverage weight sensitivity (multi set @ "
+                     "120 RPM, 4 nodes)");
+
+  Table table("Coverage weight sweep (alpha: CPU share of weighted coverage)");
+  table.set_header({"alpha", "CPU idle (core*s)", "mem idle (MB*s)",
+                    "P99 latency (s)"});
+  double cpu_idle_low = 0, cpu_idle_high = 0;
+  for (int step = 0; step <= 10; ++step) {
+    const double alpha = 0.1 * step;
+    exp::PlatformTuning tuning;
+    tuning.coverage_alpha = alpha;
+    auto policy = exp::make_scheduler_platform(exp::SchedulerKind::kCoverage,
+                                               catalog, tuning);
+    auto m = exp::run_experiment(exp::multi_node_config(), policy, trace);
+    table.add_row({Table::fmt(alpha, 1),
+                   Table::fmt(m.policy.pool_idle_cpu_core_seconds, 0),
+                   Table::fmt(m.policy.pool_idle_mem_mb_seconds, 0),
+                   Table::fmt(m.p99_latency(), 2)});
+    if (step == 0) cpu_idle_low = m.policy.pool_idle_cpu_core_seconds;
+    if (step == 10) cpu_idle_high = m.policy.pool_idle_cpu_core_seconds;
+  }
+  table.print(std::cout);
+  std::cout << "\nPaper: raising alpha makes CPU coverage dominate - CPU "
+               "idle value falls, memory idle rises; alpha=0.9 achieves the "
+               "lowest P99.\nMeasured: CPU idle "
+            << Table::fmt(cpu_idle_low, 0) << " (alpha=0) vs "
+            << Table::fmt(cpu_idle_high, 0) << " (alpha=1).\n";
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Table 2 — per-function comparison of four model families (LR, SVM, NN,
+// RF) on CPU-class accuracy / memory-class accuracy / execution-time R²,
+// using workload-duplicator datasets with a 7:3 split (§8.6).
+#include <cmath>
+#include <iostream>
+#include <memory>
+
+#include "ml/dataset.h"
+#include "ml/forest.h"
+#include "ml/linear.h"
+#include "ml/metrics.h"
+#include "ml/mlp.h"
+#include "ml/svm.h"
+#include "util/table.h"
+#include "workload/function_catalog.h"
+
+using namespace libra;
+using util::Table;
+
+namespace {
+
+struct FunctionDatasets {
+  ml::TrainTestSplit cpu;
+  ml::TrainTestSplit mem;
+  ml::TrainTestSplit dur;
+};
+
+// Reproduces the profiler's duplicator dataset for one function.
+FunctionDatasets make_datasets(const sim::FunctionModel& func,
+                               util::Rng& rng) {
+  ml::Dataset cpu, mem, dur;
+  const auto first = func.sample_input(rng);
+  for (int i = 0; i < 100; ++i) {
+    sim::InputSpec in;
+    in.size = first.size * std::exp(rng.uniform(std::log(0.2), std::log(100.0)));
+    in.content_seed = rng.next_u64();
+    const auto truth = func.evaluate(in);
+    const ml::FeatureRow row = {in.size};
+    cpu.add_classification(row, static_cast<int>(std::lround(truth.demand.cpu)));
+    mem.add_classification(row, static_cast<int>(truth.demand.mem / 256.0));
+    dur.add_regression(row, truth.work / std::max(1.0, truth.demand.cpu));
+  }
+  FunctionDatasets out;
+  out.cpu = ml::split_dataset(cpu, 0.7, rng);
+  out.mem = ml::split_dataset(mem, 0.7, rng);
+  out.dur = ml::split_dataset(dur, 0.7, rng);
+  return out;
+}
+
+struct ModelScores {
+  double cpu_acc, mem_acc, dur_r2;
+};
+
+ModelScores evaluate_family(const FunctionDatasets& data,
+                            ml::Classifier& cpu_clf, ml::Classifier& mem_clf,
+                            ml::Regressor& dur_reg) {
+  cpu_clf.fit(data.cpu.train);
+  mem_clf.fit(data.mem.train);
+  dur_reg.fit(data.dur.train);
+  return {ml::accuracy(data.cpu.test.labels,
+                       cpu_clf.predict_all(data.cpu.test.x)),
+          ml::accuracy(data.mem.test.labels,
+                       mem_clf.predict_all(data.mem.test.x)),
+          ml::r2_score(data.dur.test.targets,
+                       dur_reg.predict_all(data.dur.test.x))};
+}
+
+std::string cell(const ModelScores& s) {
+  return Table::fmt(s.cpu_acc, 2) + "/" + Table::fmt(s.mem_acc, 2) + "/" +
+         Table::fmt(s.dur_r2, 2);
+}
+
+}  // namespace
+
+int main() {
+  const auto catalog = workload::sebs_catalog();
+  util::print_banner(std::cout,
+                     "Table 2 — LR vs SVM vs NN vs RF on ten functions "
+                     "(cpu acc / mem acc / time R2, 7:3 split)");
+
+  Table table("Table 2");
+  table.set_header({"func", "LR", "SVM", "NN", "RF"});
+
+  double rf_cpu_sum = 0, lr_cpu_sum = 0, svm_cpu_sum = 0, nn_cpu_sum = 0;
+  double rf_r2_related = 0;
+  int related_count = 0;
+
+  for (size_t f = 0; f < catalog.size(); ++f) {
+    const auto& func = catalog.at(static_cast<int>(f));
+    util::Rng rng(1000 + f);
+    const auto data = make_datasets(func, rng);
+
+    ml::LogisticClassifier lr_cpu, lr_mem;
+    ml::LinearRegressor lr_dur;
+    const auto lr = evaluate_family(data, lr_cpu, lr_mem, lr_dur);
+
+    ml::SvmClassifier svm_cpu, svm_mem;
+    ml::LinearRegressor svm_dur;  // SVR stand-in: linear epsilon-free fit
+    const auto svm = evaluate_family(data, svm_cpu, svm_mem, svm_dur);
+
+    ml::MlpClassifier nn_cpu, nn_mem;
+    ml::MlpRegressor nn_dur;
+    const auto nn = evaluate_family(data, nn_cpu, nn_mem, nn_dur);
+
+    ml::RandomForestClassifier rf_cpu, rf_mem;
+    ml::RandomForestRegressor rf_dur;
+    const auto rf = evaluate_family(data, rf_cpu, rf_mem, rf_dur);
+
+    table.add_row({func.name(), cell(lr), cell(svm), cell(nn), cell(rf)});
+    lr_cpu_sum += lr.cpu_acc;
+    svm_cpu_sum += svm.cpu_acc;
+    nn_cpu_sum += nn.cpu_acc;
+    rf_cpu_sum += rf.cpu_acc;
+    if (func.size_related()) {
+      rf_r2_related += rf.dur_r2;
+      ++related_count;
+    }
+  }
+  table.add_row({"Avg(cpu acc)", Table::fmt(lr_cpu_sum / 10, 2),
+                 Table::fmt(svm_cpu_sum / 10, 2), Table::fmt(nn_cpu_sum / 10, 2),
+                 Table::fmt(rf_cpu_sum / 10, 2)});
+  table.print(std::cout);
+
+  std::cout << "\nPaper: RF outperforms the others; size-related functions "
+               "get near-1.0 accuracy/R2, unrelated ones get poor accuracy "
+               "and negative R2.\nMeasured: RF avg cpu accuracy "
+            << Table::fmt(rf_cpu_sum / 10, 2)
+            << ", RF mean R2 on related functions "
+            << Table::fmt(rf_r2_related / std::max(1, related_count), 2)
+            << ".\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Quickstart: run the Libra platform against the default OpenWhisk resource
+// manager on a small single-node cluster and print the headline comparison.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <iostream>
+#include <memory>
+
+#include "exp/platforms.h"
+#include "exp/report.h"
+#include "exp/runner.h"
+#include "util/table.h"
+#include "workload/function_catalog.h"
+#include "workload/trace.h"
+
+int main() {
+  using namespace libra;
+
+  // 1. Deploy the ten SeBS-like functions (Table 1 of the paper).
+  auto catalog = std::make_shared<const sim::FunctionCatalog>(
+      workload::sebs_catalog());
+
+  // 2. Sample an Azure-like trace: 165 invocations over ~4 minutes.
+  auto trace = workload::single_node_trace(*catalog, /*seed=*/7);
+  std::cout << "Trace: " << trace.size() << " invocations of "
+            << catalog->size() << " functions\n";
+
+  // 3. Run the same trace under Default OpenWhisk and under Libra.
+  std::vector<exp::NamedRun> runs;
+  for (auto kind : {exp::PlatformKind::kDefault, exp::PlatformKind::kLibra}) {
+    auto policy = exp::make_platform(kind, catalog);
+    auto metrics =
+        exp::run_experiment(exp::single_node_config(), policy, trace);
+    runs.push_back({exp::platform_name(kind), std::move(metrics)});
+  }
+
+  // 4. Compare.
+  exp::summary_table("Default vs Libra (single node, 72 cores / 72 GB)", runs)
+      .print(std::cout);
+  exp::cdf_table("Response latency CDF (seconds)", runs,
+                 &sim::RunMetrics::response_latencies,
+                 exp::default_quantiles())
+      .print(std::cout);
+  exp::cdf_table("Speedup CDF (Eq. 1)", runs, &sim::RunMetrics::speedups,
+                 exp::default_quantiles())
+      .print(std::cout);
+  exp::outcome_table("Invocation outcomes", runs).print(std::cout);
+
+  const double p99_default = runs[0].metrics.p99_latency();
+  const double p99_libra = runs[1].metrics.p99_latency();
+  std::cout << "\nLibra reduces P99 latency by "
+            << util::Table::pct((p99_default - p99_libra) /
+                                std::max(1e-9, p99_default))
+            << " vs Default on this trace.\n";
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Scheduler bake-off on a user-defined cluster: compares the five node-
+// selection strategies (hash, RR, JSQ, MWS, Libra coverage) with harvesting
+// enabled, on a cluster shape given on the command line.
+//
+//   ./build/examples/scheduler_comparison [nodes] [cores] [rpm]
+#include <cstdlib>
+#include <iostream>
+
+#include "exp/platforms.h"
+#include "exp/report.h"
+#include "exp/runner.h"
+#include "util/table.h"
+#include "workload/function_catalog.h"
+#include "workload/trace.h"
+
+int main(int argc, char** argv) {
+  using namespace libra;
+  const int nodes = argc > 1 ? std::atoi(argv[1]) : 6;
+  const double cores = argc > 2 ? std::atof(argv[2]) : 16;
+  const double rpm = argc > 3 ? std::atof(argv[3]) : 180;
+
+  auto catalog = std::make_shared<const sim::FunctionCatalog>(
+      workload::sebs_catalog());
+  const auto trace = workload::multi_trace(*catalog, rpm, 3);
+
+  sim::EngineConfig cfg;
+  cfg.node_capacities.assign(static_cast<size_t>(nodes),
+                             sim::Resources{cores, cores * 1024});
+  cfg.num_shards = 2;
+
+  std::cout << "Cluster: " << nodes << " nodes x " << cores << " cores, "
+            << rpm << " RPM, " << trace.size() << " invocations\n";
+
+  util::Table table("Scheduling strategies (Libra harvesting enabled on all)");
+  table.set_header({"scheduler", "p50(s)", "p99(s)", "completion(s)",
+                    "cold starts", "idle harvested core*s"});
+  for (auto kind :
+       {exp::SchedulerKind::kDefaultHash, exp::SchedulerKind::kRoundRobin,
+        exp::SchedulerKind::kJsq, exp::SchedulerKind::kMws,
+        exp::SchedulerKind::kCoverage}) {
+    auto policy = exp::make_scheduler_platform(kind, catalog);
+    auto m = exp::run_experiment(cfg, policy, trace);
+    auto lats = m.response_latencies();
+    table.add_row({exp::scheduler_name(kind),
+                   util::Table::fmt(util::percentile(lats, 50), 2),
+                   util::Table::fmt(m.p99_latency(), 2),
+                   util::Table::fmt(m.workload_completion_time(), 1),
+                   std::to_string(m.cold_starts),
+                   util::Table::fmt(m.policy.pool_idle_cpu_core_seconds, 0)});
+  }
+  table.print(std::cout);
+  return 0;
+}

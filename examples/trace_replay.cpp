@@ -1,0 +1,46 @@
+// Trace replay: generate Azure-like multi trace sets at several request
+// rates and replay each under two platforms on the 4-node cluster —
+// the workflow an operator would use to size a harvesting deployment.
+//
+//   ./build/examples/trace_replay [rpm...]
+#include <cstdlib>
+#include <iostream>
+
+#include "exp/platforms.h"
+#include "exp/report.h"
+#include "exp/runner.h"
+#include "util/table.h"
+#include "workload/function_catalog.h"
+#include "workload/trace.h"
+
+int main(int argc, char** argv) {
+  using namespace libra;
+  std::vector<double> rpms;
+  for (int i = 1; i < argc; ++i) rpms.push_back(std::atof(argv[i]));
+  if (rpms.empty()) rpms = {60, 120, 240};
+
+  auto catalog = std::make_shared<const sim::FunctionCatalog>(
+      workload::sebs_catalog());
+
+  util::Table table("Default vs Libra across request rates (4 nodes)");
+  table.set_header({"RPM", "invocations", "default p99(s)", "libra p99(s)",
+                    "p99 reduction", "default util", "libra util"});
+  for (double rpm : rpms) {
+    const auto trace = workload::multi_trace(*catalog, rpm, /*seed=*/5);
+    auto def = exp::run_experiment(
+        exp::multi_node_config(),
+        exp::make_platform(exp::PlatformKind::kDefault, catalog), trace);
+    auto lib = exp::run_experiment(
+        exp::multi_node_config(),
+        exp::make_platform(exp::PlatformKind::kLibra, catalog), trace);
+    table.add_row({util::Table::fmt(rpm, 0), std::to_string(trace.size()),
+                   util::Table::fmt(def.p99_latency(), 2),
+                   util::Table::fmt(lib.p99_latency(), 2),
+                   util::Table::pct((def.p99_latency() - lib.p99_latency()) /
+                                    std::max(1e-9, def.p99_latency())),
+                   util::Table::pct(def.avg_cpu_utilization()),
+                   util::Table::pct(lib.avg_cpu_utilization())});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,42 @@
+// The Default platform (§8.3 baseline 1): unmodified OpenWhisk resource
+// management. User-defined allocations stay fixed for the whole execution,
+// nothing is harvested, invocations of a function stick to a hashed node.
+#pragma once
+
+#include <memory>
+
+#include "baselines/schedulers.h"
+#include "sim/policy.h"
+
+namespace libra::baselines {
+
+class DefaultPolicy final : public sim::Policy {
+ public:
+  DefaultPolicy() : scheduler_(std::make_shared<HashScheduler>()) {}
+  explicit DefaultPolicy(core::SchedulerPtr scheduler)
+      : scheduler_(std::move(scheduler)) {}
+
+  std::string name() const override { return "default-openwhisk"; }
+
+  void predict(sim::Invocation& inv) override {
+    // No profiler: the platform implicitly assumes the user knows best.
+    inv.pred_demand = inv.user_alloc;
+    inv.pred_duration = 0.0;
+    inv.pred_size_related = false;
+  }
+
+  sim::NodeId select_node(sim::Invocation& inv, sim::EngineApi& api) override {
+    return scheduler_->select(inv, api);
+  }
+
+  sim::AllocationPlan plan_allocation(sim::Invocation& inv,
+                                      sim::EngineApi& api) override {
+    (void)api;
+    return {inv.user_alloc};
+  }
+
+ private:
+  core::SchedulerPtr scheduler_;
+};
+
+}  // namespace libra::baselines

@@ -1,0 +1,66 @@
+#include "core/coverage.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace libra::core {
+namespace {
+
+/// Integral over [now, now+duration] of min(sum of live volumes, demand),
+/// divided by demand * duration. Piecewise-constant sweep over expiries.
+double axis_coverage(const PoolStatus& status, sim::SimTime now,
+                     double demand, double duration, bool use_cpu) {
+  if (demand <= 0.0) return 1.0;
+  if (duration <= 0.0) return 0.0;
+
+  // Collect (expiry, volume) of live entries for the axis.
+  struct Item {
+    sim::SimTime expiry;
+    double volume;
+  };
+  std::vector<Item> items;
+  double total = 0.0;
+  for (const auto& e : status.entries) {
+    const double v = use_cpu ? e.volume.cpu : e.volume.mem;
+    if (v <= 0.0 || e.est_expiry <= now) continue;
+    items.push_back({e.est_expiry, v});
+    total += v;
+  }
+  if (items.empty()) return 0.0;
+  std::sort(items.begin(), items.end(),
+            [](const Item& a, const Item& b) { return a.expiry < b.expiry; });
+
+  const sim::SimTime window_end = now + duration;
+  double integral = 0.0;
+  sim::SimTime t = now;
+  size_t i = 0;
+  while (t < window_end) {
+    // Drop entries that expired at or before t.
+    while (i < items.size() && items[i].expiry <= t) {
+      total -= items[i].volume;
+      ++i;
+    }
+    if (total <= 0.0) break;
+    const sim::SimTime seg_end =
+        (i < items.size()) ? std::min(items[i].expiry, window_end)
+                           : window_end;
+    integral += std::min(total, demand) * (seg_end - t);
+    t = seg_end;
+  }
+  return integral / (demand * duration);
+}
+
+}  // namespace
+
+CoverageResult demand_coverage(const PoolStatus& status, sim::SimTime now,
+                               const sim::Resources& extra_demand,
+                               double duration) {
+  CoverageResult r;
+  r.cpu = axis_coverage(status, now, extra_demand.cpu, duration,
+                        /*use_cpu=*/true);
+  r.mem = axis_coverage(status, now, extra_demand.mem, duration,
+                        /*use_cpu=*/false);
+  return r;
+}
+
+}  // namespace libra::core

@@ -1,0 +1,29 @@
+// Demand coverage (§6.2): the fraction of an accelerable invocation's extra
+// demand-x-duration rectangle that a node's pooled idle resources can cover,
+// respecting each pooled collection's timeliness (Fig. 5). Computed per axis
+// and combined with the weight alpha (default 0.9, CPU-dominant).
+#pragma once
+
+#include "core/pool_status.h"
+#include "sim/types.h"
+
+namespace libra::core {
+
+struct CoverageResult {
+  double cpu = 0.0;  // in [0, 1]
+  double mem = 0.0;  // in [0, 1]
+
+  /// D := alpha * D_c + (1 - alpha) * D_m  (§6.2).
+  double weighted(double alpha) const {
+    return alpha * cpu + (1.0 - alpha) * mem;
+  }
+};
+
+/// Computes coverage of `extra_demand` over the window [now, now + duration]
+/// against the pool snapshot. Axes with zero extra demand count as fully
+/// covered. Entries whose estimated expiry already passed contribute nothing.
+CoverageResult demand_coverage(const PoolStatus& status, sim::SimTime now,
+                               const sim::Resources& extra_demand,
+                               double duration);
+
+}  // namespace libra::core

@@ -1,0 +1,149 @@
+#include "core/harvest_pool.h"
+
+#include <algorithm>
+
+namespace libra::core {
+
+using sim::InvocationId;
+using sim::Resources;
+using sim::SimTime;
+
+void HarvestResourcePool::accrue_idle_locked(SimTime now) const {
+  if (now > last_accrual_) {
+    const Resources idle = idle_total_locked();
+    idle_cpu_secs_ += idle.cpu * (now - last_accrual_);
+    idle_mem_secs_ += idle.mem * (now - last_accrual_);
+    last_accrual_ = now;
+  }
+}
+
+Resources HarvestResourcePool::idle_total_locked() const {
+  Resources total;
+  for (const auto& [id, entry] : entries_) total += entry.idle;
+  return total;
+}
+
+void HarvestResourcePool::put(InvocationId source, const Resources& volume,
+                              SimTime est_completion, SimTime now) {
+  if (volume.cpu < 0 || volume.mem < 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  accrue_idle_locked(now);
+  auto& entry = entries_[source];
+  entry.idle += volume;
+  entry.est_expiry = std::max(entry.est_expiry, est_completion);
+}
+
+std::vector<HarvestResourcePool::Grant> HarvestResourcePool::get(
+    const Resources& desired, InvocationId borrower, SimTime now,
+    const GetOptions& opt) {
+  std::lock_guard<std::mutex> lock(mu_);
+  accrue_idle_locked(now);
+
+  // Candidate ordering: timeliness-aware mode lends the longest-lived
+  // resources first ("prioritizes harvested resources that can potentially
+  // be utilized longer"); the blind mode walks entries in id order.
+  std::vector<std::map<InvocationId, Entry>::iterator> order;
+  for (auto it = entries_.begin(); it != entries_.end(); ++it)
+    order.push_back(it);
+  if (opt.timeliness_order) {
+    std::stable_sort(order.begin(), order.end(),
+                     [](const auto& a, const auto& b) {
+                       return a->second.est_expiry > b->second.est_expiry;
+                     });
+  }
+
+  Resources remaining = desired.clamped_non_negative();
+  std::vector<Grant> grants;
+  for (auto& it : order) {
+    if (remaining.is_zero()) break;
+    Entry& entry = it->second;
+    // Entries past their *estimated* expiry are still valid — the estimate
+    // only orders priorities; actual release happens at source completion.
+    // Timeliness ordering already places them last.
+    Resources take;
+    take.cpu = std::min(remaining.cpu, entry.idle.cpu);
+    const bool mem_ok =
+        opt.mem_expiry_floor < 0.0 || entry.est_expiry >= opt.mem_expiry_floor;
+    take.mem = mem_ok ? std::min(remaining.mem, entry.idle.mem) : 0.0;
+    if (take.is_zero()) continue;
+    entry.idle -= take;
+    remaining -= take;
+    remaining = remaining.clamped_non_negative();
+    grants.push_back({it->first, take, entry.est_expiry});
+    borrows_.push_back({it->first, borrower, take, entry.est_expiry});
+  }
+  return grants;
+}
+
+std::vector<HarvestResourcePool::Revocation>
+HarvestResourcePool::preempt_source(InvocationId source, SimTime now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  accrue_idle_locked(now);
+  entries_.erase(source);
+  // Aggregate outstanding grants per borrower, then drop the records.
+  std::map<InvocationId, Resources> per_borrower;
+  auto keep_end = std::remove_if(
+      borrows_.begin(), borrows_.end(), [&](const BorrowRecord& r) {
+        if (r.source != source) return false;
+        per_borrower[r.borrower] += r.amount;
+        return true;
+      });
+  borrows_.erase(keep_end, borrows_.end());
+  std::vector<Revocation> out;
+  out.reserve(per_borrower.size());
+  for (const auto& [borrower, amount] : per_borrower)
+    out.push_back({borrower, amount});
+  return out;
+}
+
+void HarvestResourcePool::reharvest(InvocationId borrower, SimTime now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  accrue_idle_locked(now);
+  auto keep_end = std::remove_if(
+      borrows_.begin(), borrows_.end(), [&](const BorrowRecord& r) {
+        if (r.borrower != borrower) return false;
+        auto it = entries_.find(r.source);
+        if (it != entries_.end()) {
+          // Source is still running: the volume re-enters the pool at its
+          // original priority.
+          it->second.idle += r.amount;
+        }
+        return true;
+      });
+  borrows_.erase(keep_end, borrows_.end());
+}
+
+PoolStatus HarvestResourcePool::snapshot(SimTime now) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PoolStatus status;
+  status.taken_at = now;
+  for (const auto& [id, entry] : entries_) {
+    if (entry.idle.is_zero()) continue;
+    status.entries.push_back({entry.idle, entry.est_expiry});
+  }
+  return status;
+}
+
+Resources HarvestResourcePool::idle_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return idle_total_locked();
+}
+
+size_t HarvestResourcePool::entry_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+double HarvestResourcePool::idle_cpu_core_seconds(SimTime now) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  accrue_idle_locked(now);
+  return idle_cpu_secs_;
+}
+
+double HarvestResourcePool::idle_mem_mb_seconds(SimTime now) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  accrue_idle_locked(now);
+  return idle_mem_secs_;
+}
+
+}  // namespace libra::core

@@ -1,0 +1,337 @@
+#include "core/libra_policy.h"
+
+#include <algorithm>
+
+#include "util/log.h"
+
+namespace libra::core {
+
+using sim::AllocationPlan;
+using sim::EngineApi;
+using sim::Invocation;
+using sim::NodeId;
+using sim::Resources;
+
+LibraPolicy::LibraPolicy(LibraPolicyConfig cfg, PredictorPtr predictor,
+                         SchedulerPtr scheduler)
+    : cfg_(cfg),
+      predictor_(std::move(predictor)),
+      scheduler_(std::move(scheduler)) {
+  if (!predictor_) throw std::invalid_argument("LibraPolicy: null predictor");
+  if (!scheduler_) throw std::invalid_argument("LibraPolicy: null scheduler");
+  profiler_hook_ = dynamic_cast<Profiler*>(predictor_.get());
+}
+
+std::shared_ptr<LibraPolicy> LibraPolicy::with_coverage_scheduler(
+    LibraPolicyConfig cfg, PredictorPtr predictor) {
+  // Two-phase wiring: the scheduler needs the policy as its status provider.
+  struct LatePolicyProvider final : PoolStatusProvider {
+    const LibraPolicy* policy = nullptr;
+    PoolStatus pool_status(NodeId node) const override {
+      return policy ? policy->pool_status(node) : PoolStatus{};
+    }
+  };
+  auto provider = std::make_shared<LatePolicyProvider>();
+  struct ProviderKeepAlive final : SchedulerStrategy {
+    std::shared_ptr<LatePolicyProvider> provider;
+    CoverageScheduler inner;
+    ProviderKeepAlive(std::shared_ptr<LatePolicyProvider> p, double alpha)
+        : provider(std::move(p)), inner(provider.get(), alpha) {}
+    std::string name() const override { return inner.name(); }
+    NodeId select(Invocation& inv, EngineApi& api) override {
+      return inner.select(inv, api);
+    }
+  };
+  auto scheduler =
+      std::make_shared<ProviderKeepAlive>(provider, cfg.coverage_alpha);
+  auto policy = std::make_shared<LibraPolicy>(cfg, std::move(predictor),
+                                              scheduler);
+  provider->policy = policy.get();
+  return policy;
+}
+
+std::string LibraPolicy::name() const {
+  return "libra(" + predictor_->name() + "," + scheduler_->name() + ")";
+}
+
+void LibraPolicy::predict(Invocation& inv) {
+  predictor_->predict(inv);
+  if (!cfg_.preemptive_release_on_safeguard) {
+    // Freyr-style correction: after a safeguard strike, only the NEXT
+    // invocation of the function reverts to the user-defined allocation.
+    auto it = suppress_next_.find(inv.func);
+    if (it != suppress_next_.end()) {
+      inv.pred_demand = inv.user_alloc;
+      suppress_next_.erase(it);
+    }
+  }
+}
+
+NodeId LibraPolicy::select_node(Invocation& inv, EngineApi& api) {
+  last_seen_now_ = api.now();
+  return scheduler_->select(inv, api);
+}
+
+double LibraPolicy::predicted_exec_time(const Invocation& inv,
+                                        const Resources& alloc,
+                                        EngineApi& api) const {
+  sim::DemandProfile pred;
+  pred.demand = inv.pred_demand;
+  // pred_duration is the expected time at exactly pred_demand, so the
+  // implied work is duration x predicted parallelism.
+  pred.work = inv.pred_duration * std::max(1.0, inv.pred_demand.cpu);
+  pred.min_mem = 0.0;
+  const double t = api.exec_model().exec_time(alloc, pred);
+  return std::min(t, 3600.0);  // cap runaway estimates
+}
+
+AllocationPlan LibraPolicy::plan_allocation(Invocation& inv, EngineApi& api) {
+  last_seen_now_ = api.now();
+  auto& pool = pools_[inv.node];
+  Resources effective = inv.user_alloc;
+
+  if (inv.profiling_probe) {
+    // Black-box profiling window: allocate up to the platform max straight
+    // from node free capacity so the monitor can observe the true peaks.
+    const Resources extra =
+        (inv.pred_demand - inv.user_alloc).clamped_non_negative();
+    if (extra.is_zero()) return {effective};
+    if (api.node(inv.node).try_reserve(inv.shard, extra)) {
+      inv.probe_extra = extra;
+      return {effective + extra};
+    }
+    // Node too busy for a probe reservation: fall through and treat the
+    // invocation as ordinarily accelerable (pool grants + backfill).
+  }
+
+  const bool mem_harvest_blocked =
+      (profiler_hook_ &&
+       profiler_hook_->mem_harvest_disabled(inv.func,
+                                            cfg_.max_mem_safeguard_strikes)) ||
+      mem_strikes_[inv.func] >= cfg_.max_mem_safeguard_strikes;
+
+  // ---- Harvest (per axis where the prediction leaves slack) ----
+  Resources target;
+  target.cpu = std::max(cfg_.min_cpu_floor,
+                        inv.pred_demand.cpu * (1.0 + cfg_.harvest_headroom));
+  target.mem = std::max(cfg_.min_mem_floor,
+                        inv.pred_demand.mem * (1.0 + cfg_.harvest_headroom));
+  Resources harvest;
+  harvest.cpu = std::max(0.0, inv.user_alloc.cpu - target.cpu);
+  harvest.mem =
+      mem_harvest_blocked ? 0.0 : std::max(0.0, inv.user_alloc.mem - target.mem);
+  if (!harvest.is_zero()) {
+    effective -= harvest;
+    const double est_dur = predicted_exec_time(inv, effective, api);
+    pool.put(inv.id, harvest, api.now() + est_dur, api.now());
+    inv.harvested_out = harvest;
+    inv.was_harvested = true;
+    ++stats_.harvest_puts;
+  }
+
+  // ---- Accelerate (per axis where demand exceeds the user allocation) ----
+  const Resources extra =
+      (inv.pred_demand - inv.user_alloc).clamped_non_negative();
+  if (!extra.is_zero()) {
+    HarvestResourcePool::GetOptions opt;
+    opt.timeliness_order = cfg_.timeliness_aware_pool;
+    if (cfg_.mem_expiry_filter && extra.mem > 0) {
+      const double window = predicted_exec_time(
+          inv, Resources::max(inv.user_alloc, inv.pred_demand), api);
+      opt.mem_expiry_floor = api.now() + window;
+    }
+    const auto grants = pool.get(extra, inv.id, api.now(), opt);
+    Resources granted;
+    for (const auto& g : grants) granted += g.amount;
+    if (!granted.is_zero()) {
+      effective += granted;
+      inv.borrowed_in = granted;
+      inv.was_accelerated = true;
+      ++stats_.borrow_gets;
+    }
+    if (cfg_.runtime_backfill &&
+        !(inv.pred_demand - (inv.user_alloc + granted))
+             .clamped_non_negative()
+             .is_zero()) {
+      backfill_candidates_[inv.node].insert(inv.id);
+    }
+  }
+  return {effective};
+}
+
+void LibraPolicy::backfill_node(sim::NodeId node, EngineApi& api) {
+  auto it = backfill_candidates_.find(node);
+  if (it == backfill_candidates_.end() || it->second.empty()) return;
+  auto& pool = pools_[node];
+  std::vector<sim::InvocationId> done;
+  // Least-served first so a few hungry invocations cannot starve the rest
+  // across pings.
+  std::vector<sim::InvocationId> order(it->second.begin(), it->second.end());
+  std::sort(order.begin(), order.end(),
+            [&](sim::InvocationId a, sim::InvocationId b) {
+              const double sa =
+                  api.invocation_alive(a)
+                      ? api.invocation(a).borrowed_in.cpu +
+                            api.invocation(a).borrowed_in.mem / 1024.0
+                      : 1e18;
+              const double sb =
+                  api.invocation_alive(b)
+                      ? api.invocation(b).borrowed_in.cpu +
+                            api.invocation(b).borrowed_in.mem / 1024.0
+                      : 1e18;
+              if (sa != sb) return sa < sb;
+              return a < b;
+            });
+  for (const auto id : order) {
+    if (!api.invocation_alive(id)) {
+      done.push_back(id);
+      continue;
+    }
+    Invocation& inv = api.invocation(id);
+    if (!inv.running) continue;
+    const Resources gap =
+        (inv.pred_demand - (inv.user_alloc + inv.borrowed_in))
+            .clamped_non_negative();
+    if (gap.is_zero()) {
+      done.push_back(id);
+      continue;
+    }
+    HarvestResourcePool::GetOptions opt;
+    opt.timeliness_order = cfg_.timeliness_aware_pool;
+    if (cfg_.mem_expiry_filter && gap.mem > 0)
+      opt.mem_expiry_floor = api.now() + inv.pred_duration;
+    const auto grants = pool.get(gap, inv.id, api.now(), opt);
+    Resources granted;
+    for (const auto& g : grants) granted += g.amount;
+    LIBRA_DEBUG() << "backfill inv " << inv.id << " gap " << gap.to_string()
+                  << " granted " << granted.to_string();
+    if (granted.is_zero()) continue;
+    api.sync_accounting(inv.id);
+    inv.borrowed_in += granted;
+    inv.was_accelerated = true;
+    ++stats_.borrow_gets;
+    api.update_effective(inv.id, inv.effective + granted);
+  }
+  for (const auto id : done) it->second.erase(id);
+}
+
+bool LibraPolicy::wants_monitor(const Invocation& inv) const {
+  return cfg_.safeguard_enabled && inv.was_harvested &&
+         !inv.harvested_out.is_zero();
+}
+
+void LibraPolicy::on_monitor(Invocation& inv, EngineApi& api) {
+  last_seen_now_ = api.now();
+  const Resources usage = api.observed_usage(inv.id);
+  const double theta = cfg_.safeguard_threshold;
+  bool cpu_trigger = false, mem_trigger = false;
+  if (inv.harvested_out.cpu > 0 && inv.effective.cpu > 0 &&
+      usage.cpu >= theta * inv.effective.cpu - 1e-9) {
+    cpu_trigger = true;
+  }
+  if (inv.harvested_out.mem > 0 && inv.effective.mem > 0 &&
+      usage.mem >= theta * inv.effective.mem - 1e-9) {
+    mem_trigger = true;
+  }
+  if (!cpu_trigger && !mem_trigger) return;
+
+  ++stats_.safeguard_triggers;
+  inv.was_safeguarded = true;
+  if (mem_trigger) {
+    ++mem_strikes_[inv.func];
+    if (profiler_hook_) profiler_hook_->record_mem_safeguard_strike(inv.func);
+  }
+  if (cfg_.preemptive_release_on_safeguard) {
+    preemptive_release(inv, api, /*restore_allocation=*/true);
+  } else {
+    // Freyr: the current invocation keeps suffering; only the next one is
+    // served with the user-defined allocation again (§9).
+    suppress_next_.insert(inv.func);
+  }
+}
+
+void LibraPolicy::preemptive_release(Invocation& inv, EngineApi& api,
+                                     bool restore_allocation) {
+  auto& pool = pools_[inv.node];
+  const auto revocations = pool.preempt_source(inv.id, api.now());
+  for (const auto& rev : revocations) {
+    ++stats_.pool_revocations;
+    if (!api.invocation_alive(rev.borrower)) continue;
+    Invocation& borrower = api.invocation(rev.borrower);
+    api.sync_accounting(borrower.id);
+    borrower.borrowed_in =
+        (borrower.borrowed_in - rev.amount).clamped_non_negative();
+    const Resources updated =
+        (borrower.effective - rev.amount).clamped_non_negative();
+    api.update_effective(borrower.id, updated);
+    // The borrower is under-provisioned again; let backfill re-accelerate
+    // it from whatever the pool holds next.
+    if (cfg_.runtime_backfill)
+      backfill_candidates_[borrower.node].insert(borrower.id);
+  }
+  api.sync_accounting(inv.id);
+  if (restore_allocation && !inv.harvested_out.is_zero()) {
+    const Resources restored = inv.effective + inv.harvested_out;
+    inv.harvested_out = {0.0, 0.0};
+    api.update_effective(inv.id, restored);
+  } else {
+    inv.harvested_out = {0.0, 0.0};
+  }
+}
+
+void LibraPolicy::on_complete(Invocation& inv, EngineApi& api) {
+  last_seen_now_ = api.now();
+  auto& pool = pools_[inv.node];
+  // Timeliness: everything harvested from this invocation dies with it —
+  // idle volume leaves the pool, lent volume is revoked from borrowers.
+  preemptive_release(inv, api, /*restore_allocation=*/false);
+  // Re-harvesting: grants this invocation still holds return to the pool.
+  // (Completion already folded its integrals; borrowed_in may be cleared.)
+  if (!inv.borrowed_in.is_zero()) {
+    pool.reharvest(inv.id, api.now());
+    inv.borrowed_in = {0.0, 0.0};
+    ++stats_.reharvests;
+  }
+  backfill_candidates_[inv.node].erase(inv.id);
+  // Step 5: feed actual utilization back into the profiling models.
+  Observation obs;
+  obs.func = inv.func;
+  obs.input = inv.input;
+  obs.observed_peak = api.observed_peak(inv.id);
+  obs.exec_duration = std::max(0.0, inv.t_finish - inv.t_exec_start);
+  predictor_->observe(obs);
+}
+
+void LibraPolicy::on_oom(Invocation& inv, EngineApi& api) {
+  last_seen_now_ = api.now();
+  ++mem_strikes_[inv.func];
+  if (profiler_hook_) profiler_hook_->record_mem_safeguard_strike(inv.func);
+  // The platform forcibly returns harvested resources on an OOM kill; the
+  // engine then restarts the container with the user allocation.
+  preemptive_release(inv, api, /*restore_allocation=*/false);
+}
+
+void LibraPolicy::on_health_ping(NodeId node, EngineApi& api) {
+  last_seen_now_ = api.now();
+  LIBRA_DEBUG() << "ping node " << node << " t=" << api.now() << " candidates="
+                << backfill_candidates_[node].size();
+  if (cfg_.runtime_backfill) backfill_node(node, api);
+  snapshots_[node] = pools_[node].snapshot(api.now());
+}
+
+PoolStatus LibraPolicy::pool_status(NodeId node) const {
+  auto it = snapshots_.find(node);
+  return it != snapshots_.end() ? it->second : PoolStatus{};
+}
+
+sim::PolicyStats LibraPolicy::stats() const {
+  sim::PolicyStats out = stats_;
+  for (const auto& [node, pool] : pools_) {
+    out.pool_idle_cpu_core_seconds +=
+        pool.idle_cpu_core_seconds(last_seen_now_);
+    out.pool_idle_mem_mb_seconds += pool.idle_mem_mb_seconds(last_seen_now_);
+  }
+  return out;
+}
+
+}  // namespace libra::core

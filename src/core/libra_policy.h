@@ -1,0 +1,120 @@
+// The Libra resource-management policy (§5 + §6): composes a demand
+// predictor, a node-selection strategy, per-node harvest resource pools and
+// the safeguard daemon. Configuration switches turn the same machinery into
+// the paper's baselines and ablations:
+//
+//   Libra       profiler predictor, coverage scheduler, safeguard on,
+//               timeliness-aware pool, preemptive release
+//   Libra-NS    safeguard off
+//   Libra-NP    moving-window predictor
+//   Libra-NSP   both
+//   Freyr       EWMA predictor, hash scheduler, timeliness-blind pool,
+//               safeguard corrects only the *next* invocation (§9)
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/harvest_pool.h"
+#include "core/pool_status.h"
+#include "core/predictor.h"
+#include "core/profiler.h"
+#include "core/scheduler.h"
+#include "sim/policy.h"
+
+namespace libra::core {
+
+struct LibraPolicyConfig {
+  bool safeguard_enabled = true;
+  /// §5.2: trigger when utilization of the shrunken allocation crosses this.
+  double safeguard_threshold = 0.8;
+  /// Allocation headroom over the predicted peak; real usage fluctuates, so
+  /// harvesting down to the exact prediction would trip the safeguard on
+  /// every accurate prediction.
+  double harvest_headroom = 0.3;
+  /// Never harvest memory below this floor (OOM mitigation #1, §5.1).
+  double min_mem_floor = 128.0;
+  /// Never harvest CPU below this many cores.
+  double min_cpu_floor = 0.5;
+  /// Timeliness-aware pool ordering (§5.1 priority); false models Freyr.
+  bool timeliness_aware_pool = true;
+  /// Memory grants only from entries outliving the borrower's predicted
+  /// finish (revoked memory mid-run is an OOM risk); false models Freyr.
+  bool mem_expiry_filter = true;
+  /// Preemptive release on safeguard trigger; false models Freyr, which only
+  /// restores the user allocation for the NEXT invocation of the function.
+  bool preemptive_release_on_safeguard = true;
+  /// OOM mitigation #3: stop harvesting memory from a function after this
+  /// many memory-safeguard strikes.
+  int max_mem_safeguard_strikes = 3;
+  /// Weight of CPU coverage in the weighted demand coverage (§6.2).
+  double coverage_alpha = 0.9;
+  /// Runtime backfill: on every health ping, running under-provisioned
+  /// invocations top up from newly harvested pool inventory (docker-update
+  /// makes mid-run grants cheap; keeping harvested resources busy is what
+  /// Fig. 10's idle-time metric rewards). Freyr has no such mechanism.
+  bool runtime_backfill = true;
+};
+
+class LibraPolicy final : public sim::Policy, public PoolStatusProvider {
+ public:
+  LibraPolicy(LibraPolicyConfig cfg, PredictorPtr predictor,
+              SchedulerPtr scheduler);
+
+  /// Convenience: wires a CoverageScheduler against this policy's pools.
+  static std::shared_ptr<LibraPolicy> with_coverage_scheduler(
+      LibraPolicyConfig cfg, PredictorPtr predictor);
+
+  std::string name() const override;
+  void predict(sim::Invocation& inv) override;
+  sim::NodeId select_node(sim::Invocation& inv, sim::EngineApi& api) override;
+  sim::AllocationPlan plan_allocation(sim::Invocation& inv,
+                                      sim::EngineApi& api) override;
+  bool wants_monitor(const sim::Invocation& inv) const override;
+  void on_monitor(sim::Invocation& inv, sim::EngineApi& api) override;
+  void on_complete(sim::Invocation& inv, sim::EngineApi& api) override;
+  void on_oom(sim::Invocation& inv, sim::EngineApi& api) override;
+  void on_health_ping(sim::NodeId node, sim::EngineApi& api) override;
+  sim::PolicyStats stats() const override;
+
+  // PoolStatusProvider: piggybacked (possibly stale) snapshot.
+  PoolStatus pool_status(sim::NodeId node) const override;
+
+  /// Direct pool access for tests and white-box benches.
+  HarvestResourcePool& pool(sim::NodeId node) { return pools_[node]; }
+  const LibraPolicyConfig& config() const { return cfg_; }
+  DemandPredictor& predictor() { return *predictor_; }
+
+ private:
+  /// Predicted execution time if the invocation runs with `alloc`.
+  double predicted_exec_time(const sim::Invocation& inv,
+                             const sim::Resources& alloc,
+                             sim::EngineApi& api) const;
+  /// Pulls back everything harvested from `inv` (pool idle volume and
+  /// grants lent to borrowers) and restores its allocation.
+  void preemptive_release(sim::Invocation& inv, sim::EngineApi& api,
+                          bool restore_allocation);
+  /// Tops up running under-provisioned invocations from the node's pool.
+  void backfill_node(sim::NodeId node, sim::EngineApi& api);
+
+  LibraPolicyConfig cfg_;
+  PredictorPtr predictor_;
+  SchedulerPtr scheduler_;
+  std::unordered_map<sim::NodeId, HarvestResourcePool> pools_;
+  std::unordered_map<sim::NodeId, PoolStatus> snapshots_;
+  /// Freyr mode: functions whose next invocation must run un-harvested.
+  std::unordered_set<sim::FunctionId> suppress_next_;
+  /// Profiler hook for per-function memory-strike mitigation (may be null
+  /// when the predictor is not the Libra profiler).
+  Profiler* profiler_hook_ = nullptr;
+  std::unordered_map<sim::FunctionId, int> mem_strikes_;
+  /// Running invocations still short of their predicted demand, per node.
+  std::unordered_map<sim::NodeId, std::unordered_set<sim::InvocationId>>
+      backfill_candidates_;
+  mutable sim::PolicyStats stats_;
+  sim::SimTime last_seen_now_ = 0.0;
+};
+
+}  // namespace libra::core

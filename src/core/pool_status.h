@@ -1,0 +1,32 @@
+// Pool-status snapshots piggybacked on invoker health pings (§6.4). The
+// controller-side schedulers never query pools synchronously; they compute
+// demand coverage from these (slightly stale) snapshots, exactly like the
+// paper's "piggyback trick".
+#pragma once
+
+#include <vector>
+
+#include "sim/types.h"
+
+namespace libra::core {
+
+/// One tracked idle-resource collection inside a node's harvest pool.
+struct PoolEntrySnapshot {
+  sim::Resources volume;      // currently idle (un-borrowed) volume
+  sim::SimTime est_expiry;    // estimated completion of the source invocation
+};
+
+struct PoolStatus {
+  std::vector<PoolEntrySnapshot> entries;
+  sim::SimTime taken_at = 0.0;  // snapshot (ping) time; exposes staleness
+};
+
+/// Anything that can answer "what does node n's harvest pool look like?" —
+/// implemented by LibraPolicy from its piggybacked snapshots.
+class PoolStatusProvider {
+ public:
+  virtual ~PoolStatusProvider() = default;
+  virtual PoolStatus pool_status(sim::NodeId node) const = 0;
+};
+
+}  // namespace libra::core

@@ -1,0 +1,29 @@
+#include "core/predictor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/function.h"
+#include "util/rng.h"
+
+namespace libra::core {
+
+void DemandPredictor::prewarm(const sim::FunctionCatalog& catalog,
+                              uint64_t seed, int samples_per_function) {
+  util::Rng rng(util::mix64(seed ^ 0x97e3a7bULL));
+  for (const auto& func : catalog.all()) {
+    for (int i = 0; i < samples_per_function; ++i) {
+      const auto input = func->sample_input(rng);
+      const auto truth = func->evaluate(input);
+      Observation obs;
+      obs.func = func->id();
+      obs.input = input;
+      // Historical runs at full allocation: peaks equal true demand.
+      obs.observed_peak = truth.demand;
+      obs.exec_duration = truth.work / std::max(1.0, truth.demand.cpu);
+      observe(obs);
+    }
+  }
+}
+
+}  // namespace libra::core

@@ -1,0 +1,68 @@
+#include "core/window_predictors.h"
+
+#include <algorithm>
+
+namespace libra::core {
+
+using sim::Invocation;
+using sim::Resources;
+
+void MovingWindowPredictor::predict(Invocation& inv) {
+  auto it = history_.find(inv.func);
+  if (it == history_.end() || it->second.peaks.empty()) {
+    // No history: behave like the default platform for this invocation.
+    inv.first_seen = true;
+    inv.pred_demand = inv.user_alloc;
+    inv.pred_duration = 1.0;
+    inv.pred_size_related = false;
+    return;
+  }
+  inv.first_seen = false;
+  // "Takes the maximum CPU usage peak, memory usage peak, and execution time
+  // as the decision for the next incoming invocation" (§8.3, Libra-NP).
+  Resources peak;
+  for (const auto& p : it->second.peaks) peak = Resources::max(peak, p);
+  double dur = 0.0;
+  for (double d : it->second.durations) dur = std::max(dur, d);
+  inv.pred_demand = peak;
+  inv.pred_duration = std::max(0.01, dur);
+  inv.pred_size_related = false;
+}
+
+void MovingWindowPredictor::observe(const Observation& obs) {
+  auto& h = history_[obs.func];
+  h.peaks.push_back(obs.observed_peak);
+  h.durations.push_back(obs.exec_duration);
+  while (h.peaks.size() > window_) h.peaks.pop_front();
+  while (h.durations.size() > window_) h.durations.pop_front();
+}
+
+void EwmaPredictor::predict(Invocation& inv) {
+  auto it = state_.find(inv.func);
+  if (it == state_.end() || !it->second.initialized) {
+    inv.first_seen = true;
+    inv.pred_demand = inv.user_alloc;
+    inv.pred_duration = 1.0;
+    inv.pred_size_related = false;
+    return;
+  }
+  inv.first_seen = false;
+  inv.pred_demand = it->second.peak;
+  inv.pred_duration = std::max(0.01, it->second.duration);
+  inv.pred_size_related = false;
+}
+
+void EwmaPredictor::observe(const Observation& obs) {
+  auto& s = state_[obs.func];
+  if (!s.initialized) {
+    s.peak = obs.observed_peak;
+    s.duration = obs.exec_duration;
+    s.initialized = true;
+    return;
+  }
+  s.peak.cpu = alpha_ * obs.observed_peak.cpu + (1 - alpha_) * s.peak.cpu;
+  s.peak.mem = alpha_ * obs.observed_peak.mem + (1 - alpha_) * s.peak.mem;
+  s.duration = alpha_ * obs.exec_duration + (1 - alpha_) * s.duration;
+}
+
+}  // namespace libra::core

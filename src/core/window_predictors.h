@@ -1,0 +1,52 @@
+// History-window predictors:
+//  * MovingWindowPredictor — the Libra-NP ablation (§8.3): per function, a
+//    window of the n latest observations; predicts the window maxima.
+//  * EwmaPredictor — the Freyr stand-in: exponentially-weighted averages of
+//    observed peaks/durations. Captures Freyr's two prediction gaps called
+//    out in §9: no input-size feature and no timeliness awareness (the
+//    latter lives in the pool/policy configuration, not here).
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+
+#include "core/predictor.h"
+
+namespace libra::core {
+
+class MovingWindowPredictor final : public DemandPredictor {
+ public:
+  explicit MovingWindowPredictor(size_t window = 5) : window_(window) {}
+
+  std::string name() const override { return "moving-window"; }
+  void predict(sim::Invocation& inv) override;
+  void observe(const Observation& obs) override;
+
+ private:
+  struct History {
+    std::deque<sim::Resources> peaks;
+    std::deque<double> durations;
+  };
+  size_t window_;
+  std::unordered_map<sim::FunctionId, History> history_;
+};
+
+class EwmaPredictor final : public DemandPredictor {
+ public:
+  explicit EwmaPredictor(double alpha = 0.3) : alpha_(alpha) {}
+
+  std::string name() const override { return "ewma"; }
+  void predict(sim::Invocation& inv) override;
+  void observe(const Observation& obs) override;
+
+ private:
+  struct State {
+    bool initialized = false;
+    sim::Resources peak;
+    double duration = 1.0;
+  };
+  double alpha_;
+  std::unordered_map<sim::FunctionId, State> state_;
+};
+
+}  // namespace libra::core

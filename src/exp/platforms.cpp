@@ -1,0 +1,161 @@
+#include "exp/platforms.h"
+
+#include <stdexcept>
+
+#include "baselines/default_policy.h"
+#include "baselines/freyr.h"
+#include "baselines/schedulers.h"
+#include "core/profiler.h"
+#include "core/window_predictors.h"
+
+namespace libra::exp {
+
+using core::LibraPolicy;
+using core::LibraPolicyConfig;
+using core::Profiler;
+using core::ProfilerConfig;
+
+std::string platform_name(PlatformKind kind) {
+  switch (kind) {
+    case PlatformKind::kDefault:
+      return "Default";
+    case PlatformKind::kFreyr:
+      return "Freyr";
+    case PlatformKind::kLibra:
+      return "Libra";
+    case PlatformKind::kLibraNS:
+      return "Libra-NS";
+    case PlatformKind::kLibraNP:
+      return "Libra-NP";
+    case PlatformKind::kLibraNSP:
+      return "Libra-NSP";
+    case PlatformKind::kLibraHist:
+      return "Libra-Hist";
+    case PlatformKind::kLibraMl:
+      return "Libra-ML";
+  }
+  throw std::invalid_argument("platform_name: bad kind");
+}
+
+namespace {
+
+std::shared_ptr<Profiler> make_profiler(
+    std::shared_ptr<const sim::FunctionCatalog> catalog,
+    const PlatformTuning& tuning, bool force_ml, bool force_hist) {
+  ProfilerConfig cfg;
+  cfg.force_ml = force_ml;
+  cfg.force_histogram = force_hist;
+  cfg.seed = tuning.seed;
+  auto profiler = std::make_shared<Profiler>(cfg, catalog);
+  // Match the paper's methodology: models are developed on training data
+  // before the evaluation run (§8.2.3).
+  profiler->prewarm(*catalog, tuning.seed, 30);
+  return profiler;
+}
+
+LibraPolicyConfig libra_config(const PlatformTuning& tuning, bool safeguard) {
+  LibraPolicyConfig cfg;
+  cfg.safeguard_enabled = safeguard;
+  cfg.safeguard_threshold = tuning.safeguard_threshold;
+  cfg.coverage_alpha = tuning.coverage_alpha;
+  return cfg;
+}
+
+}  // namespace
+
+std::shared_ptr<sim::Policy> make_platform(
+    PlatformKind kind, std::shared_ptr<const sim::FunctionCatalog> catalog,
+    const PlatformTuning& tuning) {
+  switch (kind) {
+    case PlatformKind::kDefault:
+      return std::make_shared<baselines::DefaultPolicy>();
+    case PlatformKind::kFreyr: {
+      auto predictor = std::make_shared<core::EwmaPredictor>(0.3);
+      predictor->prewarm(*catalog, tuning.seed, 30);
+      return std::make_shared<LibraPolicy>(
+          baselines::freyr_config(), predictor,
+          std::make_shared<baselines::HashScheduler>());
+    }
+    case PlatformKind::kLibra:
+      return LibraPolicy::with_coverage_scheduler(
+          libra_config(tuning, true),
+          make_profiler(catalog, tuning, false, false));
+    case PlatformKind::kLibraNS:
+      return LibraPolicy::with_coverage_scheduler(
+          libra_config(tuning, false),
+          make_profiler(catalog, tuning, false, false));
+    case PlatformKind::kLibraNP: {
+      auto predictor = std::make_shared<core::MovingWindowPredictor>(5);
+      predictor->prewarm(*catalog, tuning.seed, 5);
+      return LibraPolicy::with_coverage_scheduler(libra_config(tuning, true),
+                                                  predictor);
+    }
+    case PlatformKind::kLibraNSP: {
+      auto predictor = std::make_shared<core::MovingWindowPredictor>(5);
+      predictor->prewarm(*catalog, tuning.seed, 5);
+      return LibraPolicy::with_coverage_scheduler(libra_config(tuning, false),
+                                                  predictor);
+    }
+    case PlatformKind::kLibraHist:
+      return LibraPolicy::with_coverage_scheduler(
+          libra_config(tuning, true),
+          make_profiler(catalog, tuning, false, true));
+    case PlatformKind::kLibraMl:
+      return LibraPolicy::with_coverage_scheduler(
+          libra_config(tuning, true),
+          make_profiler(catalog, tuning, true, false));
+  }
+  throw std::invalid_argument("make_platform: bad kind");
+}
+
+std::shared_ptr<sim::Policy> make_platform(
+    PlatformKind kind, std::shared_ptr<const sim::FunctionCatalog> catalog) {
+  return make_platform(kind, std::move(catalog), PlatformTuning{});
+}
+
+std::string scheduler_name(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kDefaultHash:
+      return "Default";
+    case SchedulerKind::kRoundRobin:
+      return "RR";
+    case SchedulerKind::kJsq:
+      return "JSQ";
+    case SchedulerKind::kMws:
+      return "MWS";
+    case SchedulerKind::kCoverage:
+      return "Libra";
+  }
+  throw std::invalid_argument("scheduler_name: bad kind");
+}
+
+std::shared_ptr<LibraPolicy> make_scheduler_platform(
+    SchedulerKind kind, std::shared_ptr<const sim::FunctionCatalog> catalog,
+    const PlatformTuning& tuning) {
+  auto predictor = make_profiler(catalog, tuning, false, false);
+  const auto cfg = libra_config(tuning, true);
+  switch (kind) {
+    case SchedulerKind::kDefaultHash:
+      return std::make_shared<LibraPolicy>(
+          cfg, predictor, std::make_shared<baselines::HashScheduler>());
+    case SchedulerKind::kRoundRobin:
+      return std::make_shared<LibraPolicy>(
+          cfg, predictor, std::make_shared<baselines::RoundRobinScheduler>());
+    case SchedulerKind::kJsq:
+      return std::make_shared<LibraPolicy>(
+          cfg, predictor, std::make_shared<baselines::JsqScheduler>());
+    case SchedulerKind::kMws:
+      return std::make_shared<LibraPolicy>(
+          cfg, predictor, std::make_shared<baselines::MwsScheduler>());
+    case SchedulerKind::kCoverage:
+      return LibraPolicy::with_coverage_scheduler(cfg, predictor);
+  }
+  throw std::invalid_argument("make_scheduler_platform: bad kind");
+}
+
+std::shared_ptr<LibraPolicy> make_scheduler_platform(
+    SchedulerKind kind, std::shared_ptr<const sim::FunctionCatalog> catalog) {
+  return make_scheduler_platform(kind, std::move(catalog), PlatformTuning{});
+}
+
+}  // namespace libra::exp

@@ -1,0 +1,63 @@
+// Assembly of the six §8.3 platforms and the five §8.4 scheduling variants
+// from the core/baseline building blocks. Benches and examples construct
+// everything through this factory so configurations stay consistent across
+// experiments.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/libra_policy.h"
+#include "sim/function.h"
+#include "sim/policy.h"
+
+namespace libra::exp {
+
+enum class PlatformKind {
+  kDefault,    // unmodified OpenWhisk
+  kFreyr,      // DRL harvester stand-in (see baselines/freyr.h)
+  kLibra,      // full system
+  kLibraNS,    // no safeguard
+  kLibraNP,    // no profiler (moving window)
+  kLibraNSP,   // neither
+  kLibraHist,  // profiler forced to histogram models only (Fig. 13a)
+  kLibraMl,    // profiler forced to ML models only (Fig. 13a)
+};
+
+std::string platform_name(PlatformKind kind);
+
+/// Tunables threaded into the Libra variants (defaults match §8.2.3).
+struct PlatformTuning {
+  double safeguard_threshold = 0.8;
+  double coverage_alpha = 0.9;
+  uint64_t seed = 1234;
+};
+
+std::shared_ptr<sim::Policy> make_platform(
+    PlatformKind kind, std::shared_ptr<const sim::FunctionCatalog> catalog,
+    const PlatformTuning& tuning);
+
+std::shared_ptr<sim::Policy> make_platform(
+    PlatformKind kind, std::shared_ptr<const sim::FunctionCatalog> catalog);
+
+enum class SchedulerKind {
+  kDefaultHash,  // OpenWhisk hash affinity
+  kRoundRobin,
+  kJsq,
+  kMws,
+  kCoverage,  // Libra's timeliness-aware scheduler
+};
+
+std::string scheduler_name(SchedulerKind kind);
+
+/// §8.4 wiring: Libra's harvesting/acceleration is enabled on all five
+/// platforms ("for a fair comparison on scheduling"); only node selection
+/// differs.
+std::shared_ptr<core::LibraPolicy> make_scheduler_platform(
+    SchedulerKind kind, std::shared_ptr<const sim::FunctionCatalog> catalog,
+    const PlatformTuning& tuning);
+
+std::shared_ptr<core::LibraPolicy> make_scheduler_platform(
+    SchedulerKind kind, std::shared_ptr<const sim::FunctionCatalog> catalog);
+
+}  // namespace libra::exp

@@ -1,0 +1,108 @@
+#include "exp/report.h"
+
+#include <algorithm>
+
+#include "util/stats.h"
+
+namespace libra::exp {
+
+using util::Table;
+
+const std::vector<double>& default_quantiles() {
+  static const std::vector<double> kQ = {1,  5,  10, 25, 50, 75,
+                                         90, 95, 99, 100};
+  return kQ;
+}
+
+Table cdf_table(const std::string& title, const std::vector<NamedRun>& runs,
+                std::vector<double> (sim::RunMetrics::*extract)() const,
+                const std::vector<double>& quantiles) {
+  Table table(title);
+  std::vector<std::string> header = {"percentile"};
+  for (const auto& run : runs) header.push_back(run.name);
+  table.set_header(std::move(header));
+  for (double q : quantiles) {
+    std::vector<std::string> row = {Table::fmt(q, 0) + "%"};
+    for (const auto& run : runs) {
+      auto samples = (run.metrics.*extract)();
+      row.push_back(samples.empty()
+                        ? "-"
+                        : Table::fmt(util::percentile(std::move(samples), q)));
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+Table summary_table(const std::string& title,
+                    const std::vector<NamedRun>& runs) {
+  Table table(title);
+  table.set_header({"platform", "p50 lat(s)", "p99 lat(s)", "worst slowdown",
+                    "avg cpu util", "avg mem util", "peak cpu util",
+                    "completion(s)", "safeguarded", "ooms"});
+  for (const auto& run : runs) {
+    const auto& m = run.metrics;
+    auto lats = m.response_latencies();
+    auto spds = m.speedups();
+    const double p50 =
+        lats.empty() ? 0.0 : util::percentile(lats, 50.0);
+    const double worst_speedup =
+        spds.empty() ? 0.0 : util::min_of(spds);
+    table.add_row({run.name, Table::fmt(p50), Table::fmt(m.p99_latency()),
+                   Table::pct(-std::min(0.0, worst_speedup)),
+                   Table::pct(m.avg_cpu_utilization()),
+                   Table::pct(m.avg_mem_utilization()),
+                   Table::pct(m.peak_cpu_utilization()),
+                   Table::fmt(m.workload_completion_time(), 1),
+                   Table::pct(m.safeguarded_fraction()),
+                   std::to_string(m.oom_events)});
+  }
+  return table;
+}
+
+Table outcome_table(const std::string& title,
+                    const std::vector<NamedRun>& runs) {
+  Table table(title);
+  table.set_header({"platform", "default", "harvested", "accelerated",
+                    "safeguarded", "total"});
+  for (const auto& run : runs) {
+    size_t counts[4] = {0, 0, 0, 0};
+    for (const auto& rec : run.metrics.invocations)
+      ++counts[static_cast<size_t>(rec.outcome)];
+    table.add_row({run.name, std::to_string(counts[0]),
+                   std::to_string(counts[1]), std::to_string(counts[2]),
+                   std::to_string(counts[3]),
+                   std::to_string(run.metrics.invocations.size())});
+  }
+  return table;
+}
+
+Table utilization_timeline_table(const std::string& title,
+                                 const sim::RunMetrics& metrics,
+                                 size_t points) {
+  Table table(title);
+  table.set_header({"t(s)", "cpu used", "cpu alloc", "cpu util", "mem used(MB)",
+                    "mem alloc(MB)", "mem util"});
+  const auto cpu_used = metrics.cpu_used.sampled(points);
+  const auto cpu_alloc = metrics.cpu_allocated.sampled(points);
+  const auto mem_used = metrics.mem_used.sampled(points);
+  const auto mem_alloc = metrics.mem_allocated.sampled(points);
+  const size_t n = std::min({cpu_used.size(), cpu_alloc.size(),
+                             mem_used.size(), mem_alloc.size()});
+  for (size_t i = 0; i < n; ++i) {
+    const double cpu_util = metrics.total_capacity.cpu > 0
+                                ? cpu_used[i].second / metrics.total_capacity.cpu
+                                : 0.0;
+    const double mem_util = metrics.total_capacity.mem > 0
+                                ? mem_used[i].second / metrics.total_capacity.mem
+                                : 0.0;
+    table.add_row({Table::fmt(cpu_used[i].first, 1),
+                   Table::fmt(cpu_used[i].second, 1),
+                   Table::fmt(cpu_alloc[i].second, 1), Table::pct(cpu_util),
+                   Table::fmt(mem_used[i].second, 0),
+                   Table::fmt(mem_alloc[i].second, 0), Table::pct(mem_util)});
+  }
+  return table;
+}
+
+}  // namespace libra::exp

@@ -1,0 +1,44 @@
+// Reporting helpers shared by the bench binaries: CDF tables in the format
+// of the paper's figures, and cross-platform summary tables.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/metrics.h"
+#include "util/table.h"
+
+namespace libra::exp {
+
+/// Named run for comparison tables.
+struct NamedRun {
+  std::string name;
+  sim::RunMetrics metrics;
+};
+
+/// Prints a CDF table: one row per quantile, one column per run.
+/// `extract` picks the sample vector from each run (latency, speedup, ...).
+util::Table cdf_table(const std::string& title,
+                      const std::vector<NamedRun>& runs,
+                      std::vector<double> (sim::RunMetrics::*extract)() const,
+                      const std::vector<double>& quantiles);
+
+/// The Fig. 6/7 style headline summary: P50/P99 latency, worst slowdown,
+/// average & peak utilization, completion time, outcome counts.
+util::Table summary_table(const std::string& title,
+                          const std::vector<NamedRun>& runs);
+
+/// Per-outcome invocation counts (Fig. 8 marker classes).
+util::Table outcome_table(const std::string& title,
+                          const std::vector<NamedRun>& runs);
+
+/// Downsampled utilization timeline (Fig. 7 rows) for one run.
+util::Table utilization_timeline_table(const std::string& title,
+                                       const sim::RunMetrics& metrics,
+                                       size_t points);
+
+/// Standard quantile grid used by the CDF tables.
+const std::vector<double>& default_quantiles();
+
+}  // namespace libra::exp

@@ -1,0 +1,38 @@
+#include "exp/runner.h"
+
+namespace libra::exp {
+
+namespace {
+constexpr double kGb = 1024.0;  // MB per GB
+}
+
+sim::EngineConfig single_node_config() {
+  sim::EngineConfig cfg;
+  cfg.node_capacities = {sim::Resources{72.0, 72.0 * kGb}};
+  cfg.num_shards = 1;
+  return cfg;
+}
+
+sim::EngineConfig multi_node_config(int num_shards) {
+  sim::EngineConfig cfg;
+  cfg.node_capacities.assign(4, sim::Resources{32.0, 32.0 * kGb});
+  cfg.num_shards = num_shards;
+  return cfg;
+}
+
+sim::EngineConfig jetstream_config(int nodes, int num_shards) {
+  sim::EngineConfig cfg;
+  cfg.node_capacities.assign(static_cast<size_t>(nodes),
+                             sim::Resources{24.0, 24.0 * kGb});
+  cfg.num_shards = num_shards;
+  return cfg;
+}
+
+sim::RunMetrics run_experiment(const sim::EngineConfig& cfg,
+                               std::shared_ptr<sim::Policy> policy,
+                               std::vector<sim::Invocation> trace) {
+  sim::Engine engine(cfg, std::move(policy));
+  return engine.run(std::move(trace));
+}
+
+}  // namespace libra::exp

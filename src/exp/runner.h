@@ -1,0 +1,30 @@
+// Shared experiment harness: the three testbed configurations of §8.2.1 and
+// a one-call runner that wires a policy + trace into the engine.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/function.h"
+#include "sim/metrics.h"
+#include "sim/policy.h"
+
+namespace libra::exp {
+
+/// Single-node testbed: one worker with 72 cores / 72 GB (§8.2.1).
+sim::EngineConfig single_node_config();
+
+/// Multi-node testbed: four workers with 32 cores / 32 GB each.
+sim::EngineConfig multi_node_config(int num_shards = 2);
+
+/// Jetstream testbed: `nodes` workers with 24 cores / 24 GB each and the
+/// requested number of decentralized scheduler shards (§8.5).
+sim::EngineConfig jetstream_config(int nodes, int num_shards);
+
+/// Runs one experiment to completion.
+sim::RunMetrics run_experiment(const sim::EngineConfig& cfg,
+                               std::shared_ptr<sim::Policy> policy,
+                               std::vector<sim::Invocation> trace);
+
+}  // namespace libra::exp

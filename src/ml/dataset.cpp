@@ -1,0 +1,75 @@
+#include "ml/dataset.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace libra::ml {
+
+void Dataset::add_classification(FeatureRow features, int label) {
+  if (label < 0) throw std::invalid_argument("Dataset: negative class label");
+  x.push_back(std::move(features));
+  labels.push_back(label);
+}
+
+void Dataset::add_regression(FeatureRow features, double target) {
+  x.push_back(std::move(features));
+  targets.push_back(target);
+}
+
+int Dataset::num_classes() const {
+  int best = -1;
+  for (int label : labels) best = std::max(best, label);
+  return best + 1;
+}
+
+TrainTestSplit split_dataset(const Dataset& data, double train_fraction,
+                             util::Rng& rng) {
+  if (train_fraction <= 0.0 || train_fraction >= 1.0)
+    throw std::invalid_argument("split_dataset: fraction must be in (0,1)");
+  TrainTestSplit out;
+  const auto perm = rng.permutation(data.size());
+  const size_t n_train =
+      std::max<size_t>(1, static_cast<size_t>(train_fraction *
+                                              static_cast<double>(data.size())));
+  for (size_t i = 0; i < perm.size(); ++i) {
+    Dataset& dst = (i < n_train) ? out.train : out.test;
+    const size_t j = perm[i];
+    dst.x.push_back(data.x[j]);
+    if (data.has_labels()) dst.labels.push_back(data.labels[j]);
+    if (data.has_targets()) dst.targets.push_back(data.targets[j]);
+  }
+  return out;
+}
+
+void MinMaxScaler::fit(const std::vector<FeatureRow>& rows) {
+  mins_.clear();
+  maxs_.clear();
+  if (rows.empty()) return;
+  mins_ = rows.front();
+  maxs_ = rows.front();
+  for (const auto& row : rows) {
+    for (size_t d = 0; d < row.size(); ++d) {
+      mins_[d] = std::min(mins_[d], row[d]);
+      maxs_[d] = std::max(maxs_[d], row[d]);
+    }
+  }
+}
+
+FeatureRow MinMaxScaler::transform(const FeatureRow& row) const {
+  FeatureRow out(row.size());
+  for (size_t d = 0; d < row.size(); ++d) {
+    const double span = maxs_[d] - mins_[d];
+    out[d] = span > 0 ? (row[d] - mins_[d]) / span : 0.5;
+  }
+  return out;
+}
+
+std::vector<FeatureRow> MinMaxScaler::transform_all(
+    const std::vector<FeatureRow>& rows) const {
+  std::vector<FeatureRow> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) out.push_back(transform(row));
+  return out;
+}
+
+}  // namespace libra::ml

@@ -1,0 +1,58 @@
+// Tabular dataset container shared by all profiler models. Features are
+// dense doubles; the same container holds classification labels (stored as
+// non-negative integers in `labels`) or regression targets (`targets`).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace libra::ml {
+
+using FeatureRow = std::vector<double>;
+
+struct Dataset {
+  std::vector<FeatureRow> x;
+  std::vector<int> labels;        // classification targets (class ids)
+  std::vector<double> targets;    // regression targets
+
+  size_t size() const { return x.size(); }
+  size_t num_features() const { return x.empty() ? 0 : x.front().size(); }
+  bool has_labels() const { return labels.size() == x.size(); }
+  bool has_targets() const { return targets.size() == x.size(); }
+
+  void add_classification(FeatureRow features, int label);
+  void add_regression(FeatureRow features, double target);
+
+  /// Number of distinct classes = max label + 1 (labels must be >= 0).
+  int num_classes() const;
+};
+
+/// Deterministic shuffled split into train/test by `train_fraction`
+/// (the paper uses 7:3). Preserves whichever target columns are present.
+struct TrainTestSplit {
+  Dataset train;
+  Dataset test;
+};
+
+TrainTestSplit split_dataset(const Dataset& data, double train_fraction,
+                             util::Rng& rng);
+
+/// Per-feature min/max normalizer fitted on train data; transforms rows into
+/// [0, 1] per dimension (constant features map to 0.5). SVM/MLP/logistic
+/// models need this; trees do not.
+class MinMaxScaler {
+ public:
+  void fit(const std::vector<FeatureRow>& rows);
+  FeatureRow transform(const FeatureRow& row) const;
+  std::vector<FeatureRow> transform_all(
+      const std::vector<FeatureRow>& rows) const;
+  bool fitted() const { return !mins_.empty(); }
+
+ private:
+  std::vector<double> mins_;
+  std::vector<double> maxs_;
+};
+
+}  // namespace libra::ml

@@ -1,0 +1,79 @@
+#include "ml/forest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace libra::ml {
+namespace {
+
+std::vector<size_t> bootstrap_sample(size_t n, double fraction,
+                                     util::Rng& rng) {
+  const size_t m = std::max<size_t>(
+      1, static_cast<size_t>(fraction * static_cast<double>(n)));
+  std::vector<size_t> idx(m);
+  for (size_t i = 0; i < m; ++i)
+    idx[i] = static_cast<size_t>(rng.uniform_int(0, static_cast<int64_t>(n) - 1));
+  return idx;
+}
+
+size_t default_max_features(size_t d, size_t requested) {
+  if (requested != 0) return requested;
+  // Random forests decorrelate trees by subsampling features; with our
+  // 1-D profiler features sqrt(d) == d, so this only matters for wider data.
+  return std::max<size_t>(1, static_cast<size_t>(std::sqrt(
+                                 static_cast<double>(d))));
+}
+
+}  // namespace
+
+void RandomForestClassifier::fit(const Dataset& data) {
+  if (!data.has_labels() || data.size() == 0)
+    throw std::invalid_argument("RandomForestClassifier: need labels");
+  num_classes_ = data.num_classes();
+  trees_.assign(static_cast<size_t>(opt_.num_trees), {});
+  util::Rng rng(opt_.seed);
+  TreeOptions topt = opt_.tree;
+  topt.max_features = default_max_features(data.num_features(),
+                                           opt_.tree.max_features);
+  for (auto& tree : trees_) {
+    topt.seed = rng.next_u64();
+    const auto sample = bootstrap_sample(data.size(), opt_.sample_fraction, rng);
+    tree.fit(data, sample, /*classification=*/true, num_classes_, topt);
+  }
+}
+
+int RandomForestClassifier::predict(const FeatureRow& row) const {
+  if (trees_.empty())
+    throw std::logic_error("RandomForestClassifier: predict before fit");
+  std::vector<size_t> votes(static_cast<size_t>(num_classes_), 0);
+  for (const auto& tree : trees_)
+    ++votes[static_cast<size_t>(tree.predict(row))];
+  return static_cast<int>(
+      std::max_element(votes.begin(), votes.end()) - votes.begin());
+}
+
+void RandomForestRegressor::fit(const Dataset& data) {
+  if (!data.has_targets() || data.size() == 0)
+    throw std::invalid_argument("RandomForestRegressor: need targets");
+  trees_.assign(static_cast<size_t>(opt_.num_trees), {});
+  util::Rng rng(opt_.seed);
+  TreeOptions topt = opt_.tree;
+  topt.max_features = default_max_features(data.num_features(),
+                                           opt_.tree.max_features);
+  for (auto& tree : trees_) {
+    topt.seed = rng.next_u64();
+    const auto sample = bootstrap_sample(data.size(), opt_.sample_fraction, rng);
+    tree.fit(data, sample, /*classification=*/false, 0, topt);
+  }
+}
+
+double RandomForestRegressor::predict(const FeatureRow& row) const {
+  if (trees_.empty())
+    throw std::logic_error("RandomForestRegressor: predict before fit");
+  double total = 0.0;
+  for (const auto& tree : trees_) total += tree.predict(row);
+  return total / static_cast<double>(trees_.size());
+}
+
+}  // namespace libra::ml

@@ -1,0 +1,129 @@
+#include "ml/linear.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace libra::ml {
+
+std::vector<double> solve_linear_system(std::vector<std::vector<double>> a,
+                                        std::vector<double> b) {
+  const size_t n = a.size();
+  if (n == 0 || b.size() != n)
+    throw std::invalid_argument("solve_linear_system: bad dimensions");
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    size_t pivot = col;
+    for (size_t r = col + 1; r < n; ++r)
+      if (std::abs(a[r][col]) > std::abs(a[pivot][col])) pivot = r;
+    if (std::abs(a[pivot][col]) < 1e-12)
+      throw std::runtime_error("solve_linear_system: singular matrix");
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (size_t r = col + 1; r < n; ++r) {
+      const double factor = a[r][col] / a[col][col];
+      if (factor == 0.0) continue;
+      for (size_t c = col; c < n; ++c) a[r][c] -= factor * a[col][c];
+      b[r] -= factor * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (size_t i = n; i-- > 0;) {
+    double acc = b[i];
+    for (size_t c = i + 1; c < n; ++c) acc -= a[i][c] * x[c];
+    x[i] = acc / a[i][i];
+  }
+  return x;
+}
+
+void LinearRegressor::fit(const Dataset& data) {
+  if (!data.has_targets() || data.size() == 0)
+    throw std::invalid_argument("LinearRegressor: need regression targets");
+  const size_t d = data.num_features();
+  const size_t dim = d + 1;  // intercept
+  std::vector<std::vector<double>> xtx(dim, std::vector<double>(dim, 0.0));
+  std::vector<double> xty(dim, 0.0);
+  FeatureRow aug(dim);
+  for (size_t i = 0; i < data.size(); ++i) {
+    aug[0] = 1.0;
+    for (size_t k = 0; k < d; ++k) aug[k + 1] = data.x[i][k];
+    for (size_t r = 0; r < dim; ++r) {
+      xty[r] += aug[r] * data.targets[i];
+      for (size_t c = 0; c < dim; ++c) xtx[r][c] += aug[r] * aug[c];
+    }
+  }
+  for (size_t r = 1; r < dim; ++r) xtx[r][r] += l2_;  // do not penalize bias
+  weights_ = solve_linear_system(std::move(xtx), std::move(xty));
+}
+
+double LinearRegressor::predict(const FeatureRow& row) const {
+  if (weights_.empty())
+    throw std::logic_error("LinearRegressor: predict before fit");
+  if (row.size() + 1 != weights_.size())
+    throw std::invalid_argument("LinearRegressor: feature width mismatch");
+  double acc = weights_[0];
+  for (size_t k = 0; k < row.size(); ++k) acc += weights_[k + 1] * row[k];
+  return acc;
+}
+
+namespace {
+inline double sigmoid(double z) {
+  if (z >= 0) {
+    const double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+}  // namespace
+
+void LogisticClassifier::fit(const Dataset& data) {
+  if (!data.has_labels() || data.size() == 0)
+    throw std::invalid_argument("LogisticClassifier: need class labels");
+  scaler_.fit(data.x);
+  const auto xs = scaler_.transform_all(data.x);
+  num_classes_ = data.num_classes();
+  const size_t d = data.num_features();
+  per_class_weights_.assign(static_cast<size_t>(num_classes_),
+                            std::vector<double>(d + 1, 0.0));
+  const double n = static_cast<double>(data.size());
+  for (int cls = 0; cls < num_classes_; ++cls) {
+    auto& w = per_class_weights_[static_cast<size_t>(cls)];
+    for (int epoch = 0; epoch < opt_.epochs; ++epoch) {
+      std::vector<double> grad(d + 1, 0.0);
+      for (size_t i = 0; i < xs.size(); ++i) {
+        const double y = data.labels[i] == cls ? 1.0 : 0.0;
+        const double err = sigmoid(score(w, xs[i])) - y;
+        grad[0] += err;
+        for (size_t k = 0; k < d; ++k) grad[k + 1] += err * xs[i][k];
+      }
+      w[0] -= opt_.learning_rate * grad[0] / n;
+      for (size_t k = 1; k <= d; ++k)
+        w[k] -= opt_.learning_rate * (grad[k] / n + opt_.l2 * w[k]);
+    }
+  }
+}
+
+double LogisticClassifier::score(const std::vector<double>& w,
+                                 const FeatureRow& row) const {
+  double acc = w[0];
+  for (size_t k = 0; k < row.size(); ++k) acc += w[k + 1] * row[k];
+  return acc;
+}
+
+int LogisticClassifier::predict(const FeatureRow& row) const {
+  if (per_class_weights_.empty())
+    throw std::logic_error("LogisticClassifier: predict before fit");
+  const auto scaled = scaler_.transform(row);
+  int best = 0;
+  double best_score = -1e300;
+  for (int cls = 0; cls < num_classes_; ++cls) {
+    const double s = score(per_class_weights_[static_cast<size_t>(cls)], scaled);
+    if (s > best_score) {
+      best_score = s;
+      best = cls;
+    }
+  }
+  return best;
+}
+
+}  // namespace libra::ml

@@ -1,0 +1,58 @@
+// Linear models: ridge-regularized linear regression (closed form via
+// Gaussian elimination on the normal equations) and one-vs-rest logistic
+// regression trained with batch gradient descent. These are the "LR" column
+// of Table 2.
+#pragma once
+
+#include <vector>
+
+#include "ml/model.h"
+
+namespace libra::ml {
+
+/// Ridge linear regression: w = (XᵀX + λI)⁻¹ Xᵀy with an intercept column.
+class LinearRegressor : public Regressor {
+ public:
+  explicit LinearRegressor(double l2 = 1e-6) : l2_(l2) {}
+
+  void fit(const Dataset& data) override;
+  double predict(const FeatureRow& row) const override;
+
+  const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  double l2_;
+  std::vector<double> weights_;  // [bias, w_0, ..., w_{d-1}]
+};
+
+/// One-vs-rest logistic regression with min-max feature scaling and batch
+/// gradient descent.
+class LogisticClassifier : public Classifier {
+ public:
+  struct Options {
+    double learning_rate = 0.5;
+    int epochs = 300;
+    double l2 = 1e-4;
+  };
+
+  LogisticClassifier() = default;
+  explicit LogisticClassifier(Options opt) : opt_(opt) {}
+
+  void fit(const Dataset& data) override;
+  int predict(const FeatureRow& row) const override;
+
+ private:
+  double score(const std::vector<double>& w, const FeatureRow& row) const;
+
+  Options opt_{};
+  MinMaxScaler scaler_;
+  int num_classes_ = 0;
+  std::vector<std::vector<double>> per_class_weights_;  // [class][bias + d]
+};
+
+/// Solves the dense symmetric positive-definite system A x = b in place via
+/// Gaussian elimination with partial pivoting. Exposed for reuse and testing.
+std::vector<double> solve_linear_system(std::vector<std::vector<double>> a,
+                                        std::vector<double> b);
+
+}  // namespace libra::ml

@@ -1,0 +1,49 @@
+#include "ml/metrics.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace libra::ml {
+
+double accuracy(const std::vector<int>& truth, const std::vector<int>& pred) {
+  if (truth.size() != pred.size())
+    throw std::invalid_argument("accuracy: size mismatch");
+  if (truth.empty()) throw std::invalid_argument("accuracy: empty input");
+  size_t hits = 0;
+  for (size_t i = 0; i < truth.size(); ++i)
+    if (truth[i] == pred[i]) ++hits;
+  return static_cast<double>(hits) / static_cast<double>(truth.size());
+}
+
+double r2_score(const std::vector<double>& truth,
+                const std::vector<double>& pred) {
+  if (truth.size() != pred.size())
+    throw std::invalid_argument("r2_score: size mismatch");
+  if (truth.empty()) throw std::invalid_argument("r2_score: empty input");
+  double mean = 0.0;
+  for (double t : truth) mean += t;
+  mean /= static_cast<double>(truth.size());
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    ss_res += (truth[i] - pred[i]) * (truth[i] - pred[i]);
+    ss_tot += (truth[i] - mean) * (truth[i] - mean);
+  }
+  if (ss_tot == 0.0) {
+    // Constant target: define R² as 1 when residuals vanish, else 0.
+    return ss_res == 0.0 ? 1.0 : 0.0;
+  }
+  return 1.0 - ss_res / ss_tot;
+}
+
+double mae(const std::vector<double>& truth, const std::vector<double>& pred) {
+  if (truth.size() != pred.size())
+    throw std::invalid_argument("mae: size mismatch");
+  if (truth.empty()) throw std::invalid_argument("mae: empty input");
+  double total = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i)
+    total += std::abs(truth[i] - pred[i]);
+  return total / static_cast<double>(truth.size());
+}
+
+}  // namespace libra::ml

@@ -1,0 +1,23 @@
+// Model-quality metrics used by the profiler's input-size-relatedness test
+// (§4.3) and by the Table-2 model comparison: classification accuracy and the
+// coefficient of determination R².
+#pragma once
+
+#include <vector>
+
+namespace libra::ml {
+
+/// Fraction of predictions equal to the true labels. Throws on size mismatch
+/// or empty input.
+double accuracy(const std::vector<int>& truth, const std::vector<int>& pred);
+
+/// R² = 1 - SS_res / SS_tot. Can be arbitrarily negative for models worse
+/// than predicting the mean (the paper's Table 2 shows values like -475).
+/// A constant truth vector with perfect predictions yields 1.0.
+double r2_score(const std::vector<double>& truth,
+                const std::vector<double>& pred);
+
+/// Mean absolute error.
+double mae(const std::vector<double>& truth, const std::vector<double>& pred);
+
+}  // namespace libra::ml

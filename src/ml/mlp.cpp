@@ -1,0 +1,144 @@
+#include "ml/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace libra::ml {
+namespace detail {
+
+void MlpCore::init(size_t inputs, size_t outputs, const MlpOptions& opt) {
+  inputs_ = inputs;
+  hidden_n_ = static_cast<size_t>(opt.hidden);
+  util::Rng rng(opt.seed);
+  const double scale1 = std::sqrt(2.0 / static_cast<double>(std::max<size_t>(1, inputs)));
+  const double scale2 = std::sqrt(2.0 / static_cast<double>(hidden_n_));
+  w1_.resize(hidden_n_ * inputs_);
+  for (auto& w : w1_) w = rng.normal(0.0, scale1);
+  b1_.assign(hidden_n_, 0.0);
+  w2_.resize(outputs * hidden_n_);
+  for (auto& w : w2_) w = rng.normal(0.0, scale2);
+  b2_.assign(outputs, 0.0);
+}
+
+std::vector<double> MlpCore::forward(const FeatureRow& x,
+                                     std::vector<double>* hidden_out) const {
+  std::vector<double> h(hidden_n_);
+  for (size_t j = 0; j < hidden_n_; ++j) {
+    double acc = b1_[j];
+    for (size_t k = 0; k < inputs_; ++k) acc += w1_[j * inputs_ + k] * x[k];
+    h[j] = acc > 0 ? acc : 0.0;  // ReLU
+  }
+  std::vector<double> out(b2_.size());
+  for (size_t o = 0; o < out.size(); ++o) {
+    double acc = b2_[o];
+    for (size_t j = 0; j < hidden_n_; ++j) acc += w2_[o * hidden_n_ + j] * h[j];
+    out[o] = acc;
+  }
+  if (hidden_out) *hidden_out = std::move(h);
+  return out;
+}
+
+void MlpCore::backward(const FeatureRow& x, const std::vector<double>& hidden,
+                       const std::vector<double>& delta_out, double lr) {
+  // Gradient w.r.t. hidden activations.
+  std::vector<double> delta_hidden(hidden_n_, 0.0);
+  for (size_t j = 0; j < hidden_n_; ++j) {
+    if (hidden[j] <= 0) continue;  // ReLU gradient gate
+    double acc = 0.0;
+    for (size_t o = 0; o < delta_out.size(); ++o)
+      acc += w2_[o * hidden_n_ + j] * delta_out[o];
+    delta_hidden[j] = acc;
+  }
+  // Output layer update.
+  for (size_t o = 0; o < delta_out.size(); ++o) {
+    b2_[o] -= lr * delta_out[o];
+    for (size_t j = 0; j < hidden_n_; ++j)
+      w2_[o * hidden_n_ + j] -= lr * delta_out[o] * hidden[j];
+  }
+  // Hidden layer update.
+  for (size_t j = 0; j < hidden_n_; ++j) {
+    if (delta_hidden[j] == 0.0) continue;
+    b1_[j] -= lr * delta_hidden[j];
+    for (size_t k = 0; k < inputs_; ++k)
+      w1_[j * inputs_ + k] -= lr * delta_hidden[j] * x[k];
+  }
+}
+
+}  // namespace detail
+
+void MlpClassifier::fit(const Dataset& data) {
+  if (!data.has_labels() || data.size() == 0)
+    throw std::invalid_argument("MlpClassifier: need class labels");
+  scaler_.fit(data.x);
+  const auto xs = scaler_.transform_all(data.x);
+  num_classes_ = data.num_classes();
+  net_.init(data.num_features(), static_cast<size_t>(num_classes_), opt_);
+  util::Rng rng(opt_.seed ^ 0xabcdefULL);
+  for (int epoch = 0; epoch < opt_.epochs; ++epoch) {
+    const auto order = rng.permutation(xs.size());
+    for (size_t i : order) {
+      std::vector<double> hidden;
+      auto logits = net_.forward(xs[i], &hidden);
+      // Softmax with max-shift for stability.
+      const double mx = *std::max_element(logits.begin(), logits.end());
+      double z = 0.0;
+      for (auto& v : logits) {
+        v = std::exp(v - mx);
+        z += v;
+      }
+      std::vector<double> delta(logits.size());
+      for (size_t o = 0; o < logits.size(); ++o) {
+        const double p = logits[o] / z;
+        const double y = static_cast<int>(o) == data.labels[i] ? 1.0 : 0.0;
+        delta[o] = p - y;  // d(cross-entropy)/d(logit)
+      }
+      net_.backward(xs[i], hidden, delta, opt_.learning_rate);
+    }
+  }
+}
+
+int MlpClassifier::predict(const FeatureRow& row) const {
+  if (num_classes_ == 0)
+    throw std::logic_error("MlpClassifier: predict before fit");
+  const auto logits = net_.forward(scaler_.transform(row), nullptr);
+  return static_cast<int>(
+      std::max_element(logits.begin(), logits.end()) - logits.begin());
+}
+
+void MlpRegressor::fit(const Dataset& data) {
+  if (!data.has_targets() || data.size() == 0)
+    throw std::invalid_argument("MlpRegressor: need regression targets");
+  scaler_.fit(data.x);
+  const auto xs = scaler_.transform_all(data.x);
+  // Standardize targets so the fixed learning rate is appropriate.
+  y_mean_ = 0.0;
+  for (double t : data.targets) y_mean_ += t;
+  y_mean_ /= static_cast<double>(data.size());
+  double var = 0.0;
+  for (double t : data.targets) var += (t - y_mean_) * (t - y_mean_);
+  y_scale_ = std::sqrt(var / static_cast<double>(data.size()));
+  if (y_scale_ <= 0) y_scale_ = 1.0;
+
+  net_.init(data.num_features(), 1, opt_);
+  util::Rng rng(opt_.seed ^ 0x123456ULL);
+  for (int epoch = 0; epoch < opt_.epochs; ++epoch) {
+    const auto order = rng.permutation(xs.size());
+    for (size_t i : order) {
+      std::vector<double> hidden;
+      const auto out = net_.forward(xs[i], &hidden);
+      const double y = (data.targets[i] - y_mean_) / y_scale_;
+      const std::vector<double> delta = {out[0] - y};  // d(MSE/2)/d(out)
+      net_.backward(xs[i], hidden, delta, opt_.learning_rate);
+    }
+  }
+}
+
+double MlpRegressor::predict(const FeatureRow& row) const {
+  if (net_.outputs() == 0)
+    throw std::logic_error("MlpRegressor: predict before fit");
+  const auto out = net_.forward(scaler_.transform(row), nullptr);
+  return out[0] * y_scale_ + y_mean_;
+}
+
+}  // namespace libra::ml

@@ -1,0 +1,65 @@
+// Small multilayer perceptron (one ReLU hidden layer) with SGD, in both
+// classifier (softmax) and regressor (identity output) flavours. The "NN"
+// column of Table 2.
+#pragma once
+
+#include "ml/model.h"
+#include "util/rng.h"
+
+namespace libra::ml {
+
+struct MlpOptions {
+  int hidden = 16;
+  double learning_rate = 0.05;
+  int epochs = 200;
+  uint64_t seed = 23;
+};
+
+namespace detail {
+/// Shared single-hidden-layer network: d inputs -> hidden ReLU -> k outputs.
+class MlpCore {
+ public:
+  void init(size_t inputs, size_t outputs, const MlpOptions& opt);
+  std::vector<double> forward(const FeatureRow& x,
+                              std::vector<double>* hidden_out) const;
+  /// One SGD step given the gradient of the loss w.r.t. the output layer
+  /// pre-activation (delta_out).
+  void backward(const FeatureRow& x, const std::vector<double>& hidden,
+                const std::vector<double>& delta_out, double lr);
+  size_t outputs() const { return b2_.size(); }
+
+ private:
+  size_t inputs_ = 0, hidden_n_ = 0;
+  std::vector<double> w1_, b1_;  // hidden x inputs, hidden
+  std::vector<double> w2_, b2_;  // outputs x hidden, outputs
+};
+}  // namespace detail
+
+class MlpClassifier : public Classifier {
+ public:
+  explicit MlpClassifier(MlpOptions opt = {}) : opt_(opt) {}
+  void fit(const Dataset& data) override;
+  int predict(const FeatureRow& row) const override;
+
+ private:
+  MlpOptions opt_;
+  MinMaxScaler scaler_;
+  detail::MlpCore net_;
+  int num_classes_ = 0;
+};
+
+class MlpRegressor : public Regressor {
+ public:
+  explicit MlpRegressor(MlpOptions opt = {}) : opt_(opt) {}
+  void fit(const Dataset& data) override;
+  double predict(const FeatureRow& row) const override;
+
+ private:
+  MlpOptions opt_;
+  MinMaxScaler scaler_;
+  detail::MlpCore net_;
+  double y_mean_ = 0.0;
+  double y_scale_ = 1.0;
+};
+
+}  // namespace libra::ml

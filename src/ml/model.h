@@ -1,0 +1,51 @@
+// Abstract interfaces the profiler programs against (§4.3: "theoretically,
+// any prediction model can work for the profiler"). Table 2 swaps four
+// concrete families behind these interfaces.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace libra::ml {
+
+/// Multi-class classifier over dense feature rows.
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Fits on x/labels. Implementations must tolerate a single class.
+  virtual void fit(const Dataset& data) = 0;
+
+  /// Predicted class id for one row. Must be called after fit().
+  virtual int predict(const FeatureRow& row) const = 0;
+
+  std::vector<int> predict_all(const std::vector<FeatureRow>& rows) const {
+    std::vector<int> out;
+    out.reserve(rows.size());
+    for (const auto& r : rows) out.push_back(predict(r));
+    return out;
+  }
+};
+
+/// Scalar regressor over dense feature rows.
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+
+  virtual void fit(const Dataset& data) = 0;
+  virtual double predict(const FeatureRow& row) const = 0;
+
+  std::vector<double> predict_all(const std::vector<FeatureRow>& rows) const {
+    std::vector<double> out;
+    out.reserve(rows.size());
+    for (const auto& r : rows) out.push_back(predict(r));
+    return out;
+  }
+};
+
+using ClassifierPtr = std::unique_ptr<Classifier>;
+using RegressorPtr = std::unique_ptr<Regressor>;
+
+}  // namespace libra::ml

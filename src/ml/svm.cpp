@@ -1,0 +1,61 @@
+#include "ml/svm.h"
+
+#include <stdexcept>
+
+namespace libra::ml {
+
+void SvmClassifier::fit(const Dataset& data) {
+  if (!data.has_labels() || data.size() == 0)
+    throw std::invalid_argument("SvmClassifier: need class labels");
+  scaler_.fit(data.x);
+  const auto xs = scaler_.transform_all(data.x);
+  num_classes_ = data.num_classes();
+  const size_t d = data.num_features();
+  per_class_weights_.assign(static_cast<size_t>(num_classes_),
+                            std::vector<double>(d + 1, 0.0));
+  util::Rng rng(opt_.seed);
+  for (int cls = 0; cls < num_classes_; ++cls) {
+    auto& w = per_class_weights_[static_cast<size_t>(cls)];
+    long step = 0;
+    for (int epoch = 0; epoch < opt_.epochs; ++epoch) {
+      const auto order = rng.permutation(xs.size());
+      for (size_t idx : order) {
+        ++step;
+        const double eta = 1.0 / (opt_.l2 * static_cast<double>(step));
+        const double y = data.labels[idx] == cls ? 1.0 : -1.0;
+        const double m = y * margin(w, xs[idx]);
+        // Shrink weights (not the bias) toward zero, then hinge correction.
+        for (size_t k = 1; k <= d; ++k) w[k] *= (1.0 - eta * opt_.l2);
+        if (m < 1.0) {
+          w[0] += eta * y;
+          for (size_t k = 0; k < d; ++k) w[k + 1] += eta * y * xs[idx][k];
+        }
+      }
+    }
+  }
+}
+
+double SvmClassifier::margin(const std::vector<double>& w,
+                             const FeatureRow& row) const {
+  double acc = w[0];
+  for (size_t k = 0; k < row.size(); ++k) acc += w[k + 1] * row[k];
+  return acc;
+}
+
+int SvmClassifier::predict(const FeatureRow& row) const {
+  if (per_class_weights_.empty())
+    throw std::logic_error("SvmClassifier: predict before fit");
+  const auto scaled = scaler_.transform(row);
+  int best = 0;
+  double best_margin = -1e300;
+  for (int cls = 0; cls < num_classes_; ++cls) {
+    const double m = margin(per_class_weights_[static_cast<size_t>(cls)], scaled);
+    if (m > best_margin) {
+      best_margin = m;
+      best = cls;
+    }
+  }
+  return best;
+}
+
+}  // namespace libra::ml

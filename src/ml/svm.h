@@ -1,0 +1,34 @@
+// One-vs-rest linear support vector machine trained by stochastic
+// sub-gradient descent on the hinge loss (Pegasos-style step size). The
+// "SVM" column of Table 2.
+#pragma once
+
+#include "ml/model.h"
+#include "util/rng.h"
+
+namespace libra::ml {
+
+class SvmClassifier : public Classifier {
+ public:
+  struct Options {
+    double l2 = 1e-3;     // regularization strength (lambda)
+    int epochs = 60;      // passes over the training set
+    uint64_t seed = 17;   // shuffle seed
+  };
+
+  SvmClassifier() = default;
+  explicit SvmClassifier(Options opt) : opt_(opt) {}
+
+  void fit(const Dataset& data) override;
+  int predict(const FeatureRow& row) const override;
+
+ private:
+  double margin(const std::vector<double>& w, const FeatureRow& row) const;
+
+  Options opt_{};
+  MinMaxScaler scaler_;
+  int num_classes_ = 0;
+  std::vector<std::vector<double>> per_class_weights_;  // [class][bias + d]
+};
+
+}  // namespace libra::ml

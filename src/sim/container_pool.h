@@ -1,0 +1,55 @@
+// Warm-container tracking per worker node. OpenWhisk keeps finished
+// containers paused for reuse; scheduling the same function onto the same
+// node converts cold starts (container creation + dependency install) into
+// warm starts. The hash-affinity behaviour of §6.3 exists precisely to
+// exploit this.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace libra::sim {
+
+struct ContainerPoolConfig {
+  double cold_start_delay = 0.5;   // seconds to create a fresh container
+  double warm_start_delay = 0.02;  // seconds to unpause a warm container
+  double keep_alive = 600.0;       // idle container retention window
+  int max_warm_per_function = 8;   // cap on retained paused containers
+};
+
+class ContainerPool {
+ public:
+  explicit ContainerPool(ContainerPoolConfig cfg = {}) : cfg_(cfg) {}
+
+  struct Acquisition {
+    double delay = 0.0;
+    bool cold = false;
+  };
+
+  /// Takes a container for `func` at time `now`: reuses a warm one when
+  /// available (and not expired), otherwise reports a cold start.
+  Acquisition acquire(FunctionId func, SimTime now);
+
+  /// Returns a container to the warm set at time `now`.
+  void release(FunctionId func, SimTime now);
+
+  /// Number of currently warm (non-expired) containers for `func`.
+  int warm_count(FunctionId func, SimTime now) const;
+
+  long total_cold_starts() const { return cold_starts_; }
+  long total_warm_starts() const { return warm_starts_; }
+
+ private:
+  void evict_expired(std::vector<SimTime>& stack, SimTime now) const;
+
+  ContainerPoolConfig cfg_;
+  /// Per function: stack of pause timestamps of warm containers (LIFO reuse
+  /// keeps the most recently used container hottest).
+  std::unordered_map<FunctionId, std::vector<SimTime>> warm_;
+  long cold_starts_ = 0;
+  long warm_starts_ = 0;
+};
+
+}  // namespace libra::sim

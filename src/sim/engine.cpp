@@ -1,0 +1,441 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <stdexcept>
+
+#include "util/log.h"
+#include "util/rng.h"
+
+namespace libra::sim {
+
+Engine::Engine(EngineConfig cfg, std::shared_ptr<Policy> policy)
+    : cfg_(std::move(cfg)), policy_(std::move(policy)), exec_(cfg_.exec) {
+  if (!policy_) throw std::invalid_argument("Engine: null policy");
+  if (cfg_.node_capacities.empty())
+    throw std::invalid_argument("Engine: no nodes configured");
+  if (cfg_.num_shards <= 0)
+    throw std::invalid_argument("Engine: num_shards <= 0");
+  nodes_.reserve(cfg_.node_capacities.size());
+  for (size_t i = 0; i < cfg_.node_capacities.size(); ++i) {
+    nodes_.emplace_back(static_cast<NodeId>(i), cfg_.node_capacities[i],
+                        cfg_.num_shards, cfg_.container);
+    metrics_.total_capacity += cfg_.node_capacities[i];
+  }
+  shard_queues_.resize(static_cast<size_t>(cfg_.num_shards));
+  shard_busy_until_.assign(static_cast<size_t>(cfg_.num_shards), 0.0);
+  shard_pump_scheduled_.assign(static_cast<size_t>(cfg_.num_shards), false);
+}
+
+Invocation& Engine::invocation(InvocationId id) {
+  auto it = invocations_.find(id);
+  if (it == invocations_.end())
+    throw std::out_of_range("Engine: unknown invocation id");
+  return it->second;
+}
+
+bool Engine::invocation_alive(InvocationId id) const {
+  auto it = invocations_.find(id);
+  return it != invocations_.end() && !it->second.done;
+}
+
+RunMetrics Engine::run(std::vector<Invocation> trace) {
+  if (trace.empty()) return std::move(metrics_);
+  total_ = trace.size();
+  metrics_.first_arrival = std::numeric_limits<double>::infinity();
+  for (auto& inv : trace) {
+    metrics_.first_arrival = std::min(metrics_.first_arrival, inv.arrival);
+    const InvocationId id = inv.id;
+    const SimTime at = inv.arrival;
+    auto [it, inserted] = invocations_.emplace(id, std::move(inv));
+    if (!inserted) throw std::invalid_argument("Engine: duplicate invocation id");
+    (void)it;
+    queue_.schedule(at, [this, id] { on_arrival(id); });
+  }
+  // Health pings per node, staggered to avoid synchronized bursts.
+  for (const auto& node : nodes_) {
+    const NodeId nid = node.id();
+    const double offset = cfg_.health_ping_interval *
+                          (static_cast<double>(nid) /
+                           static_cast<double>(nodes_.size()));
+    queue_.schedule(metrics_.first_arrival + offset,
+                    [this, nid] { health_ping(nid); });
+  }
+  queue_.run();
+
+  // Park records for anything that never reached completion (capacity
+  // starvation) so the caller sees every invocation exactly once.
+  for (auto& [id, inv] : invocations_) {
+    if (!inv.done) finalize_record(inv);
+  }
+  metrics_.incomplete = 0;
+  for (const auto& rec : metrics_.invocations)
+    if (!rec.completed) ++metrics_.incomplete;
+  if (metrics_.incomplete > 0)
+    LIBRA_WARN() << metrics_.incomplete
+                 << " invocations never completed (capacity starvation?)";
+  long cold = 0, warm = 0;
+  for (const auto& node : nodes_) {
+    cold += node.containers().total_cold_starts();
+    warm += node.containers().total_warm_starts();
+  }
+  metrics_.cold_starts = cold;
+  metrics_.warm_starts = warm;
+  metrics_.policy = policy_->stats();
+  return std::move(metrics_);
+}
+
+void Engine::on_arrival(InvocationId id) {
+  Invocation& inv = invocation(id);
+  inv.t_frontend_done = now() + cfg_.frontend_delay;
+  queue_.schedule(inv.t_frontend_done, [this, id] { on_profiled(id); });
+}
+
+void Engine::on_profiled(InvocationId id) {
+  Invocation& inv = invocation(id);
+  policy_->predict(inv);
+  inv.t_profiler_done = now() + cfg_.profiler_delay;
+  queue_.schedule(inv.t_profiler_done, [this, id] {
+    Invocation& v = invocation(id);
+    // Front ends spray invocations across shards; id-based assignment models
+    // the decentralized, stateless dispatch of §6.4.
+    v.shard = static_cast<ShardId>(v.id % cfg_.num_shards);
+    v.t_sched_enqueue = now();
+    // Reject invocations that can never fit a shard slice anywhere.
+    bool can_fit = false;
+    for (const auto& node : nodes_)
+      if (v.user_alloc.fits_in(node.shard_capacity())) can_fit = true;
+    if (!can_fit) {
+      LIBRA_ERROR() << "invocation " << v.id
+                    << " can never fit any shard slice; dropping";
+      v.done = true;
+      ++completed_;  // terminal: keeps health pings from looping forever
+      finalize_record(v);
+      return;
+    }
+    shard_queues_[static_cast<size_t>(v.shard)].push_back(id);
+    pump_shard(v.shard);
+  });
+}
+
+void Engine::pump_shard(ShardId shard) {
+  const auto s = static_cast<size_t>(shard);
+  if (shard_pump_scheduled_[s] || shard_queues_[s].empty()) return;
+  shard_pump_scheduled_[s] = true;
+  const SimTime at = std::max(now(), shard_busy_until_[s]);
+  queue_.schedule(at, [this, shard] { process_shard(shard); });
+}
+
+void Engine::process_shard(ShardId shard) {
+  const auto s = static_cast<size_t>(shard);
+  shard_pump_scheduled_[s] = false;
+  if (shard_queues_[s].empty()) return;
+  const InvocationId id = shard_queues_[s].front();
+  shard_queues_[s].pop_front();
+  shard_busy_until_[s] = now() + cfg_.sched_decision_delay;
+  try_place(id);
+  pump_shard(shard);
+}
+
+void Engine::try_place(InvocationId id) {
+  Invocation& inv = invocation(id);
+  NodeId chosen = kNoNode;
+  if (cfg_.measure_real_sched_overhead) {
+    const auto t0 = std::chrono::steady_clock::now();
+    chosen = policy_->select_node(inv, *this);
+    const auto t1 = std::chrono::steady_clock::now();
+    metrics_.sched_overhead_seconds.push_back(
+        std::chrono::duration<double>(t1 - t0).count());
+  } else {
+    chosen = policy_->select_node(inv, *this);
+  }
+  if (chosen == kNoNode ||
+      !node(chosen).try_reserve(inv.shard, inv.user_alloc)) {
+    ++inv.retry_count;
+    waiting_.push_back(id);
+    return;
+  }
+  inv.node = chosen;
+  inv.t_sched_done = now();
+  record_series();
+
+  const AllocationPlan plan = policy_->plan_allocation(inv, *this);
+  inv.effective = plan.effective;
+  inv.t_pool_done = now() + cfg_.pool_op_delay;
+
+  const auto acq = node(chosen).containers().acquire(inv.func, now());
+  inv.cold_start = acq.cold;
+  queue_.schedule(inv.t_pool_done + acq.delay,
+                  [this, id] { begin_execution(id); });
+}
+
+void Engine::begin_execution(InvocationId id) {
+  Invocation& inv = invocation(id);
+  inv.running = true;
+  inv.t_exec_start = now();
+  inv.max_effective = Resources::max(inv.max_effective, inv.effective);
+  inv.progress = 0.0;
+  inv.last_progress_update = now();
+  node(inv.node).invocation_started();
+  refresh_usage(inv, /*starting=*/true, /*stopping=*/false);
+  record_series();
+  schedule_progress_events(inv);
+  if (policy_->wants_monitor(inv)) {
+    inv.monitor_event = queue_.schedule_after(
+        cfg_.monitor_interval, [this, id] { monitor_tick(id); });
+  }
+}
+
+void Engine::schedule_progress_events(Invocation& inv) {
+  if (inv.completion_event != kInvalidEvent) {
+    queue_.cancel(inv.completion_event);
+    inv.completion_event = kInvalidEvent;
+  }
+  const uint64_t generation = ++inv.completion_generation;
+  const InvocationId id = inv.id;
+  if (exec_.below_oom_floor(inv.effective, inv.truth)) {
+    // Container can't even hold the runtime: OOM fires immediately.
+    inv.completion_event = queue_.schedule_after(
+        1e-3, [this, id, generation] { handle_oom(id, generation); });
+    return;
+  }
+  const double r = exec_.rate(inv.effective, inv.truth);
+  if (r <= 0.0) {
+    LIBRA_ERROR() << "invocation " << id << " has zero progress rate";
+    return;
+  }
+  const double remaining = std::max(0.0, inv.truth.work - inv.progress);
+  inv.completion_event =
+      queue_.schedule_after(remaining / r, [this, id, generation] {
+        handle_completion(id, generation);
+      });
+}
+
+void Engine::fold_progress(Invocation& inv) {
+  const double dt = std::max(0.0, now() - inv.last_progress_update);
+  if (dt > 0.0 && inv.running) {
+    inv.progress += exec_.rate(inv.effective, inv.truth) * dt;
+    inv.progress = std::min(inv.progress, inv.truth.work + 1e-9);
+    inv.reassigned_core_seconds +=
+        (inv.borrowed_in.cpu - inv.harvested_out.cpu) * dt;
+    inv.reassigned_mb_seconds +=
+        (inv.borrowed_in.mem - inv.harvested_out.mem) * dt;
+  }
+  inv.last_progress_update = now();
+}
+
+void Engine::update_effective(InvocationId id, const Resources& effective) {
+  Invocation& inv = invocation(id);
+  if (inv.done) return;
+  if (!inv.running) {
+    // Allocation changed before the container started (e.g. a grant was
+    // revoked during the cold start); just adopt the new value.
+    inv.effective = effective;
+    return;
+  }
+  fold_progress(inv);
+  inv.effective = effective;
+  inv.max_effective = Resources::max(inv.max_effective, effective);
+  refresh_usage(inv, /*starting=*/false, /*stopping=*/false);
+  record_series();
+  schedule_progress_events(inv);
+}
+
+Resources Engine::observed_usage(InvocationId id) const {
+  auto it = invocations_.find(id);
+  if (it == invocations_.end())
+    throw std::out_of_range("observed_usage: unknown invocation");
+  const Invocation& inv = it->second;
+  if (!inv.running) return {0.0, 0.0};
+  // Instantaneous usage fluctuates below the peak; a monitor samples one
+  // instant. Deterministic per (invocation, tick) jitter in [0.88, 1].
+  const uint64_t tick =
+      static_cast<uint64_t>(now() / std::max(1e-3, cfg_.monitor_interval));
+  const double jitter =
+      0.88 + 0.12 * (static_cast<double>(util::mix64(
+                         static_cast<uint64_t>(inv.id) * 0x9e37 + tick) >>
+                     11) *
+                     0x1.0p-53);
+  const double cpu =
+      std::min(inv.effective.cpu,
+               exec_.cpu_usage(inv.effective, inv.truth) * jitter);
+  const double frac =
+      inv.truth.work > 0
+          ? std::min(1.0, (inv.progress +
+                           exec_.rate(inv.effective, inv.truth) *
+                               std::max(0.0, now() - inv.last_progress_update)) /
+                              inv.truth.work)
+          : 1.0;
+  const double mem =
+      std::min(exec_.mem_usage(frac, inv.truth), inv.effective.mem);
+  return {cpu, mem};
+}
+
+void Engine::sync_accounting(InvocationId id) {
+  auto it = invocations_.find(id);
+  if (it == invocations_.end()) return;
+  Invocation& inv = it->second;
+  if (inv.running && !inv.done) fold_progress(inv);
+}
+
+Resources Engine::observed_peak(InvocationId id) const {
+  auto it = invocations_.find(id);
+  if (it == invocations_.end())
+    throw std::out_of_range("observed_peak: unknown invocation");
+  const Invocation& inv = it->second;
+  return Resources::min(inv.truth.demand, inv.max_effective);
+}
+
+void Engine::monitor_tick(InvocationId id) {
+  auto it = invocations_.find(id);
+  if (it == invocations_.end()) return;
+  Invocation& inv = it->second;
+  inv.monitor_event = kInvalidEvent;
+  if (inv.done || !inv.running) return;
+  policy_->on_monitor(inv, *this);
+  if (!inv.done && policy_->wants_monitor(inv)) {
+    inv.monitor_event = queue_.schedule_after(
+        cfg_.monitor_interval, [this, id] { monitor_tick(id); });
+  }
+}
+
+void Engine::handle_oom(InvocationId id, uint64_t generation) {
+  Invocation& inv = invocation(id);
+  if (inv.done || generation != inv.completion_generation) return;
+  fold_progress(inv);
+  ++inv.oom_count;
+  ++metrics_.oom_events;
+  policy_->on_oom(inv, *this);  // must pull back inv's harvested resources
+  // Restart: lose all progress, pay the restart penalty, resume with the
+  // user-defined allocation plus whatever the invocation still borrows.
+  inv.progress = 0.0;
+  inv.effective = inv.user_alloc + inv.borrowed_in + inv.probe_extra;
+  inv.last_progress_update = now() + cfg_.oom_restart_penalty;
+  refresh_usage(inv, false, false);
+  record_series();
+  const uint64_t next_gen = ++inv.completion_generation;
+  const InvocationId iid = inv.id;
+  queue_.schedule_after(cfg_.oom_restart_penalty, [this, iid, next_gen] {
+    Invocation& v = invocation(iid);
+    if (v.done || next_gen != v.completion_generation) return;
+    schedule_progress_events(v);
+  });
+}
+
+void Engine::handle_completion(InvocationId id, uint64_t generation) {
+  Invocation& inv = invocation(id);
+  if (inv.done || generation != inv.completion_generation) return;
+  fold_progress(inv);
+  inv.done = true;
+  inv.running = false;
+  inv.t_finish = now();
+  if (inv.monitor_event != kInvalidEvent) {
+    queue_.cancel(inv.monitor_event);
+    inv.monitor_event = kInvalidEvent;
+  }
+  refresh_usage(inv, false, /*stopping=*/true);
+  Node& n = node(inv.node);
+  n.invocation_finished();
+  n.containers().release(inv.func, now());
+  n.release(inv.shard, inv.user_alloc + inv.probe_extra);
+  record_series();
+
+  policy_->on_complete(inv, *this);
+
+  ++completed_;
+  metrics_.makespan_end = std::max(metrics_.makespan_end, now());
+  finalize_record(inv);
+  retry_waiting();
+}
+
+void Engine::retry_waiting() {
+  if (waiting_.empty()) return;
+  // Capacity freed: hand parked invocations back to their shards in FIFO
+  // order. They pay another scheduling decision, like OpenWhisk retries.
+  std::deque<InvocationId> parked;
+  parked.swap(waiting_);
+  for (auto it = parked.rbegin(); it != parked.rend(); ++it) {
+    const Invocation& inv = invocation(*it);
+    shard_queues_[static_cast<size_t>(inv.shard)].push_front(*it);
+  }
+  for (ShardId s = 0; s < cfg_.num_shards; ++s) pump_shard(s);
+}
+
+void Engine::health_ping(NodeId node_id) {
+  policy_->on_health_ping(node_id, *this);
+  if (completed_ < total_) {
+    queue_.schedule_after(cfg_.health_ping_interval,
+                          [this, node_id] { health_ping(node_id); });
+  }
+}
+
+void Engine::refresh_usage(const Invocation& inv, bool starting,
+                           bool stopping) {
+  (void)starting;
+  auto it = usage_contrib_.find(inv.id);
+  if (it != usage_contrib_.end()) {
+    used_now_ -= it->second;
+    usage_contrib_.erase(it);
+  }
+  if (!stopping && (inv.running || !inv.done)) {
+    const Resources contrib = inv.running
+                                  ? Resources{exec_.cpu_usage(inv.effective, inv.truth),
+                                              std::min(inv.effective.mem,
+                                                       inv.truth.demand.mem)}
+                                  : Resources{0.0, 0.0};
+    if (!contrib.is_zero()) {
+      used_now_ += contrib;
+      usage_contrib_.emplace(inv.id, contrib);
+    }
+  }
+  used_now_ = used_now_.clamped_non_negative();
+}
+
+void Engine::record_series() {
+  const SimTime t = now();
+  metrics_.cpu_used.record(t, used_now_.cpu);
+  metrics_.mem_used.record(t, used_now_.mem);
+  Resources alloc;
+  for (const auto& n : nodes_) alloc += n.allocated();
+  metrics_.cpu_allocated.record(t, alloc.cpu);
+  metrics_.mem_allocated.record(t, alloc.mem);
+}
+
+void Engine::finalize_record(Invocation& inv) {
+  InvocationRecord rec;
+  rec.id = inv.id;
+  rec.func = inv.func;
+  rec.arrival = inv.arrival;
+  rec.exec_start = inv.t_exec_start;
+  rec.finish = inv.t_finish;
+  rec.completed = inv.t_finish >= 0.0;
+  rec.outcome = inv.outcome();
+  rec.cold_start = inv.cold_start;
+  rec.oom_count = inv.oom_count;
+  rec.user_alloc = inv.user_alloc;
+  rec.pred_demand = inv.pred_demand;
+  rec.true_demand = inv.truth.demand;
+  rec.reassigned_core_seconds = inv.reassigned_core_seconds;
+  rec.reassigned_mb_seconds = inv.reassigned_mb_seconds;
+  if (rec.completed) {
+    rec.response_latency = inv.response_latency();
+    // Eq. 1 baseline: same pipeline latency, execution with the static
+    // user-defined allocation.
+    const double pipeline = inv.t_exec_start - inv.arrival;
+    rec.user_latency = pipeline + exec_.exec_time(inv.user_alloc, inv.truth);
+    rec.speedup = rec.user_latency > 0
+                      ? (rec.user_latency - rec.response_latency) /
+                            rec.user_latency
+                      : 0.0;
+    rec.stage_frontend = cfg_.frontend_delay;
+    rec.stage_profiler = cfg_.profiler_delay;
+    rec.stage_scheduler = std::max(0.0, inv.t_sched_done - inv.t_sched_enqueue);
+    rec.stage_pool = cfg_.pool_op_delay;
+    rec.stage_container = std::max(0.0, inv.t_exec_start - inv.t_pool_done);
+    rec.stage_exec = std::max(0.0, inv.t_finish - inv.t_exec_start);
+  }
+  metrics_.invocations.push_back(rec);
+}
+
+}  // namespace libra::sim

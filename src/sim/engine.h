@@ -1,0 +1,107 @@
+// Discrete-event serverless cluster engine. Drives the five-step workflow of
+// Fig. 3 for every invocation in a trace against a pluggable Policy:
+//
+//   arrival -> frontend -> profiler (Policy::predict) -> shard queue ->
+//   scheduling decision (Policy::select_node) -> reservation ->
+//   harvest/accelerate (Policy::plan_allocation) -> container start ->
+//   execution (piecewise progress, monitor ticks, OOM) -> completion
+//   (Policy::on_complete, pending retries, model updates)
+//
+// Shards model the decentralized sharding schedulers of §6.4: each shard
+// serializes its own decisions with a configurable per-decision service time,
+// and each shard owns a 1/K horizontal slice of every node's capacity.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/execution_model.h"
+#include "sim/invocation.h"
+#include "sim/metrics.h"
+#include "sim/node.h"
+#include "sim/policy.h"
+#include "sim/types.h"
+
+namespace libra::sim {
+
+struct EngineConfig {
+  std::vector<Resources> node_capacities;
+  int num_shards = 1;
+  ContainerPoolConfig container;
+  ExecutionModelConfig exec;
+
+  double frontend_delay = 0.0005;        // request admission
+  double profiler_delay = 0.002;         // §8.6: prediction < 2 ms
+  double sched_decision_delay = 0.0005;  // simulated per-decision service time
+  double pool_op_delay = 0.0002;         // harvest pool put/get
+  double monitor_interval = 0.1;         // §5.2 monitor window
+  double health_ping_interval = 1.0;     // pool-status piggyback period
+  double oom_restart_penalty = 1.0;      // container kill + restart cost
+  /// When true, times Policy::select_node with a real clock (Fig. 12c).
+  bool measure_real_sched_overhead = false;
+};
+
+class Engine final : public EngineApi {
+ public:
+  Engine(EngineConfig cfg, std::shared_ptr<Policy> policy);
+
+  /// Runs the whole trace to completion and returns the collected metrics.
+  /// The trace must be sorted by arrival time.
+  RunMetrics run(std::vector<Invocation> trace);
+
+  // ---- EngineApi ----
+  SimTime now() const override { return queue_.now(); }
+  const std::vector<Node>& nodes() const override { return nodes_; }
+  Node& node(NodeId id) override { return nodes_.at(static_cast<size_t>(id)); }
+  Invocation& invocation(InvocationId id) override;
+  bool invocation_alive(InvocationId id) const override;
+  const ExecutionModel& exec_model() const override { return exec_; }
+  void update_effective(InvocationId id, const Resources& effective) override;
+  void sync_accounting(InvocationId id) override;
+  Resources observed_usage(InvocationId id) const override;
+  Resources observed_peak(InvocationId id) const override;
+
+ private:
+  void on_arrival(InvocationId id);
+  void on_profiled(InvocationId id);
+  void pump_shard(ShardId shard);
+  void process_shard(ShardId shard);
+  void try_place(InvocationId id);
+  void begin_execution(InvocationId id);
+  void schedule_progress_events(Invocation& inv);
+  void handle_completion(InvocationId id, uint64_t generation);
+  void handle_oom(InvocationId id, uint64_t generation);
+  void monitor_tick(InvocationId id);
+  void health_ping(NodeId node_id);
+  void retry_waiting();
+  void fold_progress(Invocation& inv);
+  void refresh_usage(const Invocation& inv, bool starting, bool stopping);
+  void record_series();
+  void finalize_record(Invocation& inv);
+
+  EngineConfig cfg_;
+  std::shared_ptr<Policy> policy_;
+  ExecutionModel exec_;
+  EventQueue queue_;
+  std::vector<Node> nodes_;
+  std::unordered_map<InvocationId, Invocation> invocations_;
+
+  std::vector<std::deque<InvocationId>> shard_queues_;
+  std::vector<SimTime> shard_busy_until_;
+  std::vector<bool> shard_pump_scheduled_;
+  std::deque<InvocationId> waiting_;  // parked until capacity frees
+
+  // Live usage accounting (cluster-wide sums, updated incrementally).
+  Resources used_now_;
+  // Per-invocation usage contribution currently reflected in used_now_.
+  std::unordered_map<InvocationId, Resources> usage_contrib_;
+
+  RunMetrics metrics_;
+  size_t completed_ = 0;
+  size_t total_ = 0;
+};
+
+}  // namespace libra::sim

@@ -1,0 +1,65 @@
+#include "sim/event_queue.h"
+
+#include <stdexcept>
+
+namespace libra::sim {
+
+EventId EventQueue::schedule(SimTime t, Callback fn) {
+  if (t < now_ - 1e-9)
+    throw std::invalid_argument("EventQueue: scheduling into the past");
+  if (t < now_) t = now_;  // absorb float noise
+  const EventId id = next_id_++;
+  heap_.push(Entry{t, next_seq_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+void EventQueue::cancel(EventId id) {
+  auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return;  // already fired or cancelled
+  callbacks_.erase(it);
+  cancelled_.insert(id);
+}
+
+bool EventQueue::step() {
+  while (!heap_.empty()) {
+    const Entry top = heap_.top();
+    heap_.pop();
+    if (auto c = cancelled_.find(top.id); c != cancelled_.end()) {
+      cancelled_.erase(c);
+      continue;
+    }
+    auto it = callbacks_.find(top.id);
+    if (it == callbacks_.end()) continue;  // defensive; should not happen
+    Callback fn = std::move(it->second);
+    callbacks_.erase(it);
+    now_ = top.time;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void EventQueue::run() {
+  while (step()) {
+  }
+}
+
+void EventQueue::run_until(SimTime t) {
+  while (!heap_.empty()) {
+    // Peek past cancelled entries.
+    Entry top = heap_.top();
+    while (cancelled_.count(top.id)) {
+      heap_.pop();
+      cancelled_.erase(top.id);
+      if (heap_.empty()) break;
+      top = heap_.top();
+    }
+    if (heap_.empty()) break;
+    if (top.time > t) break;
+    step();
+  }
+  if (t > now_) now_ = t;
+}
+
+}  // namespace libra::sim

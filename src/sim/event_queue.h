@@ -1,0 +1,75 @@
+// Discrete-event core: a time-ordered queue of callbacks with stable FIFO
+// tie-breaking and O(log n) lazy cancellation. Completion events are
+// re-scheduled whenever an invocation's allocation changes (docker-update in
+// the real system), so cancellation is on the hot path.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace libra::sim {
+
+using EventId = uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulated time (time of the last dispatched event).
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `t` (>= now). Returns a handle usable
+  /// with cancel().
+  EventId schedule(SimTime t, Callback fn);
+
+  /// Schedules `fn` after a relative delay.
+  EventId schedule_after(SimTime delay, Callback fn) {
+    return schedule(now_ + delay, std::move(fn));
+  }
+
+  /// Cancels a pending event; no-op if already fired or cancelled.
+  void cancel(EventId id);
+
+  /// Dispatches the next event. Returns false when the queue is empty.
+  bool step();
+
+  /// Dispatches events until the queue is empty.
+  void run();
+
+  /// Dispatches events with time <= t, then advances now to t.
+  void run_until(SimTime t);
+
+  /// Number of pending (non-cancelled) events.
+  size_t pending() const { return heap_.size() - cancelled_.size(); }
+
+  bool empty() const { return pending() == 0; }
+
+ private:
+  struct Entry {
+    SimTime time;
+    uint64_t seq;  // FIFO tie-break
+    EventId id;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0.0;
+  uint64_t next_seq_ = 1;
+  EventId next_id_ = 1;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> cancelled_;
+  std::unordered_map<EventId, Callback> callbacks_;
+};
+
+}  // namespace libra::sim

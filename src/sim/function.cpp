@@ -1,0 +1,31 @@
+#include "sim/function.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace libra::sim {
+
+std::string Resources::to_string() const {
+  std::ostringstream os;
+  os << cpu << "c/" << mem << "MB";
+  return os.str();
+}
+
+FunctionCatalog::FunctionCatalog(std::vector<FunctionPtr> functions)
+    : functions_(std::move(functions)) {
+  for (size_t i = 0; i < functions_.size(); ++i) {
+    if (!functions_[i])
+      throw std::invalid_argument("FunctionCatalog: null function");
+    if (functions_[i]->id() != static_cast<FunctionId>(i))
+      throw std::invalid_argument(
+          "FunctionCatalog: function id must equal its index");
+  }
+}
+
+const FunctionModel& FunctionCatalog::at(FunctionId id) const {
+  if (id < 0 || static_cast<size_t>(id) >= functions_.size())
+    throw std::out_of_range("FunctionCatalog: bad function id");
+  return *functions_[static_cast<size_t>(id)];
+}
+
+}  // namespace libra::sim

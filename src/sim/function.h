@@ -1,0 +1,69 @@
+// Serverless function abstraction. A FunctionModel is the simulator's stand-in
+// for a deployed code package: given an input it deterministically yields the
+// invocation's ground-truth demand profile (peak CPU, peak memory, CPU work).
+// Policies must NOT read this directly for scheduling decisions — they see
+// only predictions; the profiler may invoke `evaluate` through pilot runs,
+// which models actually executing the function (workload duplicator, §4.2).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/types.h"
+#include "util/rng.h"
+
+namespace libra::sim {
+
+/// Ground truth resource behaviour of a single invocation.
+struct DemandProfile {
+  /// Peak demand: the invocation can productively use up to demand.cpu cores
+  /// and will touch up to demand.mem MB.
+  Resources demand;
+  /// Total CPU work in core-seconds; execution time = work / effective rate.
+  double work = 0.0;
+  /// Hard memory floor (MB): allocations below this OOM immediately. Libra's
+  /// OOM mitigation reserves at least this much when harvesting (§5.1).
+  double min_mem = 64.0;
+};
+
+class FunctionModel {
+ public:
+  virtual ~FunctionModel() = default;
+
+  virtual FunctionId id() const = 0;
+  virtual std::string name() const = 0;
+
+  /// The developer-specified allocation (Step 1 in Fig. 3) — the upper bound
+  /// of resources invocations of this function may use by default.
+  virtual Resources user_allocation() const = 0;
+
+  /// Ground-truth answer to "do input sizes dominate demand?" — used only by
+  /// analysis/benches to check the profiler's classification, never by
+  /// policies.
+  virtual bool size_related() const = 0;
+
+  /// Deterministic demand profile for a concrete input.
+  virtual DemandProfile evaluate(const InputSpec& input) const = 0;
+
+  /// Draws a realistic input for this function (dataset sampling stand-in).
+  virtual InputSpec sample_input(util::Rng& rng) const = 0;
+};
+
+using FunctionPtr = std::shared_ptr<const FunctionModel>;
+
+/// Immutable indexed collection of deployed functions.
+class FunctionCatalog {
+ public:
+  FunctionCatalog() = default;
+  explicit FunctionCatalog(std::vector<FunctionPtr> functions);
+
+  const FunctionModel& at(FunctionId id) const;
+  size_t size() const { return functions_.size(); }
+  const std::vector<FunctionPtr>& all() const { return functions_; }
+
+ private:
+  std::vector<FunctionPtr> functions_;
+};
+
+}  // namespace libra::sim

@@ -1,0 +1,85 @@
+// Run-level measurement: one record per invocation plus cluster-wide
+// utilization/allocation time series. Everything the §8 figures need is
+// derived from this struct (response latency and speedup CDFs, utilization
+// timelines, per-invocation reassignment scatter, stage breakdowns, ...).
+#pragma once
+
+#include <vector>
+
+#include "sim/invocation.h"
+#include "sim/policy.h"
+#include "sim/types.h"
+#include "util/stats.h"
+
+namespace libra::sim {
+
+struct InvocationRecord {
+  InvocationId id = 0;
+  FunctionId func = 0;
+  SimTime arrival = 0.0;
+  SimTime exec_start = 0.0;
+  SimTime finish = 0.0;
+  double response_latency = 0.0;
+  /// Counterfactual latency with the static user allocation (Eq. 1 basis).
+  double user_latency = 0.0;
+  /// speedup := (t_user - t_libra) / t_user  (Eq. 1).
+  double speedup = 0.0;
+  InvOutcome outcome = InvOutcome::kDefault;
+  bool cold_start = false;
+  int oom_count = 0;
+  bool completed = false;
+  Resources user_alloc;
+  Resources pred_demand;
+  Resources true_demand;
+  /// Net reassigned resource-time (Fig. 8 x-axis): borrowed minus harvested,
+  /// integrated over the execution.
+  double reassigned_core_seconds = 0.0;
+  double reassigned_mb_seconds = 0.0;
+  // Stage latencies (Fig. 15).
+  double stage_frontend = 0.0;
+  double stage_profiler = 0.0;
+  double stage_scheduler = 0.0;  // queueing + decision
+  double stage_pool = 0.0;
+  double stage_container = 0.0;
+  double stage_exec = 0.0;
+};
+
+struct RunMetrics {
+  std::vector<InvocationRecord> invocations;
+
+  // Cluster-wide piecewise-constant series.
+  util::StepSeries cpu_used;
+  util::StepSeries mem_used;
+  util::StepSeries cpu_allocated;
+  util::StepSeries mem_allocated;
+
+  Resources total_capacity;
+  SimTime first_arrival = 0.0;
+  SimTime makespan_end = 0.0;
+
+  long cold_starts = 0;
+  long warm_starts = 0;
+  long oom_events = 0;
+  long incomplete = 0;  // invocations never placed (should be 0)
+
+  /// Real (wall-clock) per-decision scheduling overhead samples, seconds.
+  std::vector<double> sched_overhead_seconds;
+
+  PolicyStats policy;
+
+  // ---- Derived views ----
+  std::vector<double> response_latencies() const;
+  std::vector<double> speedups() const;
+  /// Time from first arrival to last completion.
+  double workload_completion_time() const;
+  /// Time-weighted average utilization over the active window.
+  double avg_cpu_utilization() const;
+  double avg_mem_utilization() const;
+  double peak_cpu_utilization() const;
+  double peak_mem_utilization() const;
+  double p99_latency() const;
+  /// Fraction of invocations whose safeguard fired.
+  double safeguarded_fraction() const;
+};
+
+}  // namespace libra::sim

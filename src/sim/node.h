@@ -1,0 +1,63 @@
+// Worker node (OpenWhisk invoker) capacity accounting. Admission reserves the
+// invocation's *user-defined* allocation against the node (harvesting
+// reassigns slack inside those reservations — it never changes what the node
+// has promised). Capacity is horizontally sharded across schedulers (§6.4):
+// shard s may only reserve from its 1/K slice, while pool status and demand
+// coverage are observed for the node as a whole.
+#pragma once
+
+#include <vector>
+
+#include "sim/container_pool.h"
+#include "sim/types.h"
+
+namespace libra::sim {
+
+class Node {
+ public:
+  Node(NodeId id, Resources capacity, int num_shards,
+       ContainerPoolConfig pool_cfg = {});
+
+  NodeId id() const { return id_; }
+  const Resources& capacity() const { return capacity_; }
+
+  /// Capacity slice owned by one scheduler shard.
+  Resources shard_capacity() const {
+    return capacity_ / static_cast<double>(num_shards_);
+  }
+
+  /// Free resources within one shard's slice.
+  Resources shard_free(ShardId shard) const;
+
+  /// Whole-node free resources (all shards).
+  Resources free() const { return capacity_ - allocated_total_; }
+
+  /// Whole-node reserved resources.
+  const Resources& allocated() const { return allocated_total_; }
+
+  /// Attempts to reserve `r` from the shard's slice; false if it won't fit.
+  bool try_reserve(ShardId shard, const Resources& r);
+
+  /// Releases a prior reservation back to the shard's slice.
+  void release(ShardId shard, const Resources& r);
+
+  int running_invocations() const { return running_; }
+  void invocation_started() { ++running_; }
+  void invocation_finished() { --running_; }
+
+  ContainerPool& containers() { return containers_; }
+  const ContainerPool& containers() const { return containers_; }
+
+  int num_shards() const { return num_shards_; }
+
+ private:
+  NodeId id_;
+  Resources capacity_;
+  int num_shards_;
+  std::vector<Resources> shard_allocated_;
+  Resources allocated_total_;
+  int running_ = 0;
+  ContainerPool containers_;
+};
+
+}  // namespace libra::sim

@@ -1,0 +1,131 @@
+// The seam between the generic cluster mechanics (engine) and a resource
+// management platform (Default OpenWhisk, Freyr, Libra and its ablations).
+// The engine drives the invocation lifecycle and calls into the Policy at the
+// five workflow steps of Fig. 3; the policy manipulates running invocations
+// only through the EngineApi (the docker-update stand-in).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/execution_model.h"
+#include "sim/invocation.h"
+#include "sim/node.h"
+#include "sim/types.h"
+
+namespace libra::sim {
+
+/// Engine operations available to policies.
+class EngineApi {
+ public:
+  virtual ~EngineApi() = default;
+
+  virtual SimTime now() const = 0;
+  virtual const std::vector<Node>& nodes() const = 0;
+  virtual Node& node(NodeId id) = 0;
+  virtual Invocation& invocation(InvocationId id) = 0;
+  virtual bool invocation_alive(InvocationId id) const = 0;
+  virtual const ExecutionModel& exec_model() const = 0;
+
+  /// Changes the effective allocation of a running invocation in real time
+  /// (docker-update §7). The engine folds progress, recomputes the completion
+  /// event and refreshes utilization accounting. The caller is responsible
+  /// for keeping inv.harvested_out / inv.borrowed_in consistent first.
+  virtual void update_effective(InvocationId id, const Resources& effective) = 0;
+
+  /// What a cgroup monitor would report for a running invocation right now:
+  /// busy CPU cores and resident memory (both capped by the allocation).
+  virtual Resources observed_usage(InvocationId id) const = 0;
+
+  /// Folds the invocation's progress and resource-time integrals up to the
+  /// current instant. Policies MUST call this before mutating an
+  /// invocation's harvested_out / borrowed_in fields so the elapsed
+  /// interval is attributed to the old allocation split.
+  virtual void sync_accounting(InvocationId id) = 0;
+
+  /// The peak utilization observed over the invocation's lifetime — what the
+  /// platform "collects after execution completes" (Fig. 3 step 5) to update
+  /// profiling models. Capped by the largest allocation the container had.
+  virtual Resources observed_peak(InvocationId id) const = 0;
+};
+
+/// Aggregate counters a policy reports at the end of a run (consumed by the
+/// Fig. 8/10/14 benches).
+struct PolicyStats {
+  double pool_idle_cpu_core_seconds = 0.0;  // Fig. 10(b) integrand
+  double pool_idle_mem_mb_seconds = 0.0;    // Fig. 10(c) integrand
+  long safeguard_triggers = 0;
+  long harvest_puts = 0;
+  long borrow_gets = 0;
+  long pool_revocations = 0;
+  long reharvests = 0;
+};
+
+/// Result of the Step-5 allocation decision made when an invocation is
+/// admitted to a node.
+struct AllocationPlan {
+  /// Initial effective allocation (user_alloc - harvested + borrowed). The
+  /// node reservation is always the user-defined allocation; the plan only
+  /// redistributes slack inside reservations.
+  Resources effective;
+};
+
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Step 3 — profiling. Fills inv.pred_demand / pred_duration /
+  /// pred_size_related / first_seen.
+  virtual void predict(Invocation& inv) = 0;
+
+  /// Step 4 — scheduling. Returns a node whose shard slice can hold the
+  /// user-defined allocation, or kNoNode to park the invocation until
+  /// capacity frees up.
+  virtual NodeId select_node(Invocation& inv, EngineApi& api) = 0;
+
+  /// Step 5 — harvesting / acceleration, called right after the reservation
+  /// succeeded on inv.node. The policy updates its harvest pools and the
+  /// invocation's harvested_out / borrowed_in fields.
+  virtual AllocationPlan plan_allocation(Invocation& inv, EngineApi& api) = 0;
+
+  /// Whether the engine should run the periodic safeguard monitor for this
+  /// invocation.
+  virtual bool wants_monitor(const Invocation& inv) const {
+    (void)inv;
+    return false;
+  }
+
+  /// Safeguard monitor tick (every monitor_interval while running).
+  virtual void on_monitor(Invocation& inv, EngineApi& api) {
+    (void)inv;
+    (void)api;
+  }
+
+  /// Invocation completed: preemptive release of resources harvested from
+  /// it, re-harvest of grants it still holds, model updates.
+  virtual void on_complete(Invocation& inv, EngineApi& api) {
+    (void)inv;
+    (void)api;
+  }
+
+  /// Container ran out of memory. The policy must pull back everything
+  /// harvested from the invocation (the engine then restarts it with its
+  /// user allocation plus whatever it still borrows).
+  virtual void on_oom(Invocation& inv, EngineApi& api) {
+    (void)inv;
+    (void)api;
+  }
+
+  /// Node health ping (§6.4): policies refresh piggybacked pool-status
+  /// snapshots here so schedulers work from realistic, slightly stale data.
+  virtual void on_health_ping(NodeId node, EngineApi& api) {
+    (void)node;
+    (void)api;
+  }
+
+  virtual PolicyStats stats() const { return {}; }
+};
+
+}  // namespace libra::sim

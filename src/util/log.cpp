@@ -1,0 +1,43 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace libra::util {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_io_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+    default:
+      return "?";
+  }
+}
+}  // namespace
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void log_line(LogLevel level, const std::string& msg) {
+  if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(g_io_mutex);
+  std::cerr << "[" << level_name(level) << "] " << msg << "\n";
+}
+
+}  // namespace libra::util

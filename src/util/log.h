@@ -1,0 +1,43 @@
+// Minimal leveled logger. The simulator runs millions of events; logging is
+// compiled in but filtered by a global level so benches stay quiet by default
+// while tests can raise verbosity when diagnosing a failure.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace libra::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global filter level. Thread-safe (atomic).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Writes one formatted line to stderr if `level` passes the filter.
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, os_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace libra::util
+
+#define LIBRA_LOG(level) ::libra::util::detail::LogStream(level)
+#define LIBRA_DEBUG() LIBRA_LOG(::libra::util::LogLevel::kDebug)
+#define LIBRA_INFO() LIBRA_LOG(::libra::util::LogLevel::kInfo)
+#define LIBRA_WARN() LIBRA_LOG(::libra::util::LogLevel::kWarn)
+#define LIBRA_ERROR() LIBRA_LOG(::libra::util::LogLevel::kError)

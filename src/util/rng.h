@@ -1,0 +1,101 @@
+// Deterministic random number generation for the Libra simulator.
+//
+// Every stochastic component of the reproduction (workload traces, function
+// demand noise, ML training shuffles) draws from an explicitly seeded Rng so
+// experiments are bit-reproducible across runs. We implement xoshiro256**
+// seeded through SplitMix64, the combination recommended by the generators'
+// authors, rather than std::mt19937 to keep state small and results identical
+// across standard library implementations.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace libra::util {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+/// Also usable directly as a cheap hash/mixing function.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// Mixes a 64-bit value; handy for deriving per-entity sub-seeds.
+uint64_t mix64(uint64_t x);
+
+/// xoshiro256** PRNG. Satisfies UniformRandomBitGenerator so it can be used
+/// with <random> distributions, though we provide the distributions we need
+/// as methods to keep results libc-independent.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<uint64_t>::max();
+  }
+
+  result_type operator()() { return next_u64(); }
+
+  uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t uniform_int(int64_t lo, int64_t hi);
+
+  /// Standard normal via Marsaglia polar method.
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Log-normal: exp(Normal(mu, sigma)).
+  double lognormal(double mu, double sigma);
+
+  /// Exponential with the given rate (mean 1/rate).
+  double exponential(double rate);
+
+  /// Pareto (heavy tail) with scale xm > 0 and shape alpha > 0.
+  double pareto(double xm, double alpha);
+
+  /// Poisson-distributed count (Knuth for small mean, normal approx above).
+  int64_t poisson(double mean);
+
+  /// Bernoulli trial with probability p of returning true.
+  bool bernoulli(double p);
+
+  /// Index drawn from the (unnormalized, non-negative) weights.
+  size_t weighted_index(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle of indices [0, n).
+  std::vector<size_t> permutation(size_t n);
+
+  /// Derives an independent child generator; stable given the same tag.
+  Rng fork(uint64_t tag) const;
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace libra::util

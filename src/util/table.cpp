@@ -1,0 +1,71 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace libra::util {
+
+void Table::set_header(std::vector<std::string> header) {
+  if (!rows_.empty())
+    throw std::logic_error("Table: set_header after rows were added");
+  header_ = std::move(header);
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  if (!header_.empty() && row.size() != header_.size())
+    throw std::invalid_argument("Table: row width mismatch");
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::pct(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v * 100.0 << "%";
+  return os.str();
+}
+
+std::string Table::render() const {
+  std::vector<size_t> widths;
+  auto grow = [&widths](const std::vector<std::string>& row) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (size_t i = 0; i < row.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+  };
+  if (!header_.empty()) grow(header_);
+  for (const auto& r : rows_) grow(r);
+
+  std::ostringstream os;
+  os << "== " << title_ << " ==\n";
+  auto emit = [&os, &widths](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      os << std::left << std::setw(static_cast<int>(widths[i]) + 2) << row[i];
+    }
+    os << "\n";
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    size_t total = 0;
+    for (size_t w : widths) total += w + 2;
+    os << std::string(total, '-') << "\n";
+  }
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const { os << render(); }
+
+void print_banner(std::ostream& os, const std::string& text) {
+  os << "\n" << std::string(72, '=') << "\n"
+     << "  " << text << "\n"
+     << std::string(72, '=') << "\n";
+}
+
+}  // namespace libra::util

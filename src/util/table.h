@@ -1,0 +1,44 @@
+// ASCII table rendering for bench binaries. Each bench reproduces one of the
+// paper's tables/figures and prints its rows through this printer so output
+// is uniform and diffable.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace libra::util {
+
+/// Column-aligned ASCII table with a title, header row, and formatted cells.
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  /// Sets header labels; must be called before adding rows.
+  void set_header(std::vector<std::string> header);
+
+  /// Adds a pre-formatted row; must match header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string fmt(double v, int precision = 3);
+
+  /// Convenience: formats as percent, e.g. 0.392 -> "39.2%".
+  static std::string pct(double v, int precision = 1);
+
+  std::string render() const;
+  void print(std::ostream& os) const;
+
+  size_t rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner used between experiment phases in bench output.
+void print_banner(std::ostream& os, const std::string& text);
+
+}  // namespace libra::util

@@ -1,0 +1,244 @@
+#include "workload/function_catalog.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace libra::workload {
+
+using sim::DemandProfile;
+using sim::FunctionCatalog;
+using sim::FunctionId;
+using sim::FunctionPtr;
+using sim::InputSpec;
+using sim::Resources;
+
+SizeRelatedFunction::SizeRelatedFunction(FunctionId id, std::string name,
+                                         Resources user_alloc,
+                                         SizeRelatedParams params)
+    : id_(id),
+      name_(std::move(name)),
+      user_alloc_(user_alloc),
+      params_(params) {
+  if (params_.size_hi <= params_.size_lo)
+    throw std::invalid_argument("SizeRelatedFunction: bad size range");
+}
+
+DemandProfile SizeRelatedFunction::evaluate(const InputSpec& input) const {
+  // No size clamp: demands saturate through cpu_cap/mem_cap while work keeps
+  // growing with the input — a bigger input is always more work. (The
+  // profiler's duplicator probes far outside the sampled range.)
+  const double size = std::max(input.size, 1.0);
+  // Content-dependent jitter, deterministic per input.
+  util::Rng rng(util::mix64(input.content_seed ^
+                            (0x5151u + static_cast<uint64_t>(id_) * 0x9d7)));
+  const double n_work = std::clamp(rng.normal(), -2.0, 2.0);
+  const double n_mem = std::clamp(rng.normal(), -2.0, 2.0);
+  const double n_cpu = std::clamp(rng.normal(), -2.0, 2.0);
+
+  // Peak parallelism is fractional (pipelines rarely saturate whole cores);
+  // the profiler's *classes* round it, the execution model uses it as-is.
+  const double raw_cpu =
+      params_.cpu_scale * std::pow(size, params_.cpu_power) + 0.08 * n_cpu;
+  const double cpu =
+      std::clamp(raw_cpu, 1.0, static_cast<double>(params_.cpu_cap));
+
+  double mem = params_.mem_base +
+               params_.mem_scale * std::pow(size, params_.mem_power);
+  mem *= 1.0 + params_.noise_frac * 0.1 * n_mem;
+  mem = std::clamp(mem, params_.min_mem, params_.mem_cap);
+
+  double work = params_.work_base +
+                params_.work_scale * std::pow(size, params_.work_power);
+  work *= 1.0 + params_.noise_frac * n_work;
+  work = std::max(0.01, work);
+
+  DemandProfile profile;
+  profile.demand = {cpu, mem};
+  profile.work = work;
+  profile.min_mem = params_.min_mem;
+  if (rng.uniform() < params_.spike_probability) {
+    // Content-driven demand surprise: more parallel work and a fatter
+    // working set than the input size suggests.
+    profile.demand.cpu = std::clamp(profile.demand.cpu * params_.spike_factor,
+                                    1.0, static_cast<double>(params_.cpu_cap));
+    profile.demand.mem = std::min(profile.demand.mem * 1.7, params_.mem_cap);
+    profile.work *= params_.spike_factor;
+  }
+  return profile;
+}
+
+InputSpec SizeRelatedFunction::sample_input(util::Rng& rng) const {
+  InputSpec in;
+  if (params_.size_pareto_alpha > 0.0) {
+    // Heavy-tailed sizes clamped into range (real input datasets skew small).
+    const double raw = rng.pareto(params_.size_lo, params_.size_pareto_alpha);
+    in.size = std::min(raw, params_.size_hi);
+  } else {
+    in.size = rng.uniform(params_.size_lo, params_.size_hi);
+  }
+  in.content_seed = rng.next_u64();
+  return in;
+}
+
+SizeUnrelatedFunction::SizeUnrelatedFunction(FunctionId id, std::string name,
+                                             Resources user_alloc,
+                                             SizeUnrelatedParams params)
+    : id_(id),
+      name_(std::move(name)),
+      user_alloc_(user_alloc),
+      params_(params) {}
+
+DemandProfile SizeUnrelatedFunction::evaluate(const InputSpec& input) const {
+  // Content decides everything; size is deliberately ignored.
+  util::Rng rng(util::mix64(input.content_seed ^
+                            (0xc0ffee + static_cast<uint64_t>(id_) * 0x2f)));
+  DemandProfile profile;
+  const double cpu = static_cast<double>(
+      rng.uniform_int(params_.cpu_lo, params_.cpu_hi));
+  double mem = rng.uniform(params_.mem_lo, params_.mem_hi);
+  double work = rng.lognormal(params_.work_mu, params_.work_sigma);
+  work = std::clamp(work, 1.0, params_.work_per_core_cap * cpu);
+  profile.demand = {cpu, std::max(mem, params_.min_mem)};
+  profile.work = work;
+  profile.min_mem = params_.min_mem;
+  return profile;
+}
+
+InputSpec SizeUnrelatedFunction::sample_input(util::Rng& rng) const {
+  InputSpec in;
+  in.size = rng.uniform(params_.size_lo, params_.size_hi);
+  in.content_seed = rng.next_u64();
+  return in;
+}
+
+namespace {
+
+FunctionPtr make_ul(FunctionId id) {
+  SizeRelatedParams p;
+  p.size_lo = 1, p.size_hi = 500, p.size_pareto_alpha = 0.6;
+  p.cpu_scale = 0.7, p.cpu_power = 0.12, p.cpu_cap = 2;
+  p.mem_base = 64, p.mem_scale = 0.4, p.mem_power = 1.0, p.mem_cap = 320;
+  p.work_base = 5.0, p.work_scale = 0.2, p.work_power = 0.9;
+  p.min_mem = 48;
+  return std::make_shared<SizeRelatedFunction>(id, "UL", Resources{6, 512}, p);
+}
+
+FunctionPtr make_tn(FunctionId id) {
+  SizeRelatedParams p;
+  p.size_lo = 10, p.size_hi = 4000, p.size_pareto_alpha = 0.5;
+  p.cpu_scale = 0.35, p.cpu_power = 0.3, p.cpu_cap = 4;
+  p.mem_base = 80, p.mem_scale = 0.09, p.mem_power = 1.0, p.mem_cap = 460;
+  p.work_base = 4.0, p.work_scale = 0.04, p.work_power = 0.95;
+  p.min_mem = 64;
+  return std::make_shared<SizeRelatedFunction>(id, "TN", Resources{3, 512}, p);
+}
+
+FunctionPtr make_cp(FunctionId id) {
+  SizeRelatedParams p;
+  p.size_lo = 1, p.size_hi = 800, p.size_pareto_alpha = 0.6;
+  p.cpu_scale = 0.5, p.cpu_power = 0.35, p.cpu_cap = 6;
+  p.mem_base = 96, p.mem_scale = 0.35, p.mem_power = 1.0, p.mem_cap = 420;
+  p.work_base = 6.0, p.work_scale = 0.3, p.work_power = 1.0;
+  p.min_mem = 64;
+  return std::make_shared<SizeRelatedFunction>(id, "CP", Resources{6, 512}, p);
+}
+
+FunctionPtr make_dv(FunctionId id) {
+  SizeRelatedParams p;
+  p.size_lo = 50, p.size_hi = 5000, p.size_pareto_alpha = 0.0;
+  p.cpu_scale = 1.05, p.cpu_power = 0.02, p.cpu_cap = 2;
+  p.mem_base = 128, p.mem_scale = 0.55, p.mem_power = 1.0, p.mem_cap = 2800;
+  p.work_base = 8.0, p.work_scale = 0.012, p.work_power = 1.0;
+  p.min_mem = 96;
+  return std::make_shared<SizeRelatedFunction>(id, "DV", Resources{2, 2048}, p);
+}
+
+FunctionPtr make_dh(FunctionId id) {
+  SizeRelatedParams p;
+  p.size_lo = 100, p.size_hi = 10000, p.size_pareto_alpha = 0.5;
+  p.cpu_scale = 0.035, p.cpu_power = 0.57, p.cpu_cap = 8;
+  p.mem_base = 64, p.mem_scale = 0.1, p.mem_power = 1.0, p.mem_cap = 1024;
+  p.work_base = 10.0, p.work_scale = 0.006, p.work_power = 1.0;
+  p.min_mem = 64;
+  return std::make_shared<SizeRelatedFunction>(id, "DH", Resources{6, 1024}, p);
+}
+
+FunctionPtr make_vp(FunctionId id) {
+  SizeUnrelatedParams p;
+  p.size_lo = 1, p.size_hi = 200;  // video MB, irrelevant to demands
+  p.cpu_lo = 2, p.cpu_hi = 8;
+  p.mem_lo = 128, p.mem_hi = 512;
+  p.work_mu = 4.4, p.work_sigma = 0.5;
+  p.min_mem = 96;
+  return std::make_shared<SizeUnrelatedFunction>(id, "VP", Resources{2, 512},
+                                                 p);
+}
+
+FunctionPtr make_ir(FunctionId id) {
+  SizeUnrelatedParams p;
+  p.size_lo = 10, p.size_hi = 500;  // image KB
+  p.cpu_lo = 1, p.cpu_hi = 4;
+  p.mem_lo = 300, p.mem_hi = 900;
+  p.work_mu = 3.2, p.work_sigma = 0.4;
+  p.min_mem = 256;
+  return std::make_shared<SizeUnrelatedFunction>(id, "IR", Resources{2, 1024},
+                                                 p);
+}
+
+FunctionPtr make_gp(FunctionId id) {
+  SizeUnrelatedParams p;
+  p.size_lo = 100, p.size_hi = 10000;  // graph vertices
+  p.cpu_lo = 1, p.cpu_hi = 4;
+  p.mem_lo = 200, p.mem_hi = 1000;
+  p.work_mu = 3.7, p.work_sigma = 0.6;
+  p.min_mem = 96;
+  return std::make_shared<SizeUnrelatedFunction>(id, "GP", Resources{2, 1024},
+                                                 p);
+}
+
+FunctionPtr make_gm(FunctionId id) {
+  SizeUnrelatedParams p;
+  p.size_lo = 100, p.size_hi = 10000;
+  p.cpu_lo = 1, p.cpu_hi = 4;
+  p.mem_lo = 128, p.mem_hi = 512;
+  p.work_mu = 3.1, p.work_sigma = 0.5;
+  p.min_mem = 96;
+  return std::make_shared<SizeUnrelatedFunction>(id, "GM", Resources{2, 512},
+                                                 p);
+}
+
+FunctionPtr make_gb(FunctionId id) {
+  SizeUnrelatedParams p;
+  p.size_lo = 100, p.size_hi = 10000;
+  p.cpu_lo = 1, p.cpu_hi = 4;
+  p.mem_lo = 128, p.mem_hi = 512;
+  p.work_mu = 2.9, p.work_sigma = 0.5;
+  p.min_mem = 96;
+  return std::make_shared<SizeUnrelatedFunction>(id, "GB", Resources{2, 512},
+                                                 p);
+}
+
+}  // namespace
+
+FunctionCatalog sebs_catalog() {
+  return FunctionCatalog({
+      make_ul(0), make_tn(1), make_cp(2), make_dv(3), make_dh(4),
+      make_vp(5), make_ir(6), make_gp(7), make_gm(8), make_gb(9),
+  });
+}
+
+FunctionCatalog sebs_catalog_size_related() {
+  return FunctionCatalog({
+      make_ul(0), make_tn(1), make_cp(2), make_dv(3), make_dh(4),
+  });
+}
+
+FunctionCatalog sebs_catalog_size_unrelated() {
+  return FunctionCatalog({
+      make_vp(0), make_ir(1), make_gp(2), make_gm(3), make_gb(4),
+  });
+}
+
+}  // namespace libra::workload

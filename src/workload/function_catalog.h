@@ -1,0 +1,121 @@
+// Synthetic stand-ins for the ten SeBS applications of Table 1. What Libra
+// consumes from an application is only its (cpu peak, mem peak, work)
+// response surface versus input, so each function is a parametric model:
+//
+//  * size-related functions (UL, TN, CP, DV, DH): demands and work are
+//    deterministic (mildly noisy) functions of the input size — the regime
+//    where the profiler's ML models shine;
+//  * size-unrelated functions (VP, IR, GP, GM, GB): demands are driven by
+//    the input *content* (a seed the provider cannot inspect), leaving the
+//    profiler only the histogram fallback of §4.3.2.
+//
+// Parameters are scaled so the single-node (72-core) and multi-node
+// (4 x 32-core) experiments exhibit the paper's over-/under-provisioning mix.
+#pragma once
+
+#include <string>
+
+#include "sim/function.h"
+
+namespace libra::workload {
+
+/// Parameters of an input-size-related function:
+///   cpu(size)  = clamp(round(cpu_scale * size^cpu_power), 1, cpu_cap)
+///   mem(size)  = clamp(mem_base + mem_scale * size^mem_power, min_mem, mem_cap)
+///   work(size) = work_base + work_scale * size^work_power  (core-seconds)
+/// with multiplicative content noise of +-noise_frac on work and memory.
+struct SizeRelatedParams {
+  double size_lo = 1.0;
+  double size_hi = 1000.0;
+  double size_pareto_alpha = 1.2;  // 0 => uniform sampling
+  double cpu_scale = 1.0;
+  double cpu_power = 1.0;
+  int cpu_cap = 8;
+  double mem_base = 64.0;
+  double mem_scale = 0.1;
+  double mem_power = 1.0;
+  double mem_cap = 1024.0;
+  double work_base = 0.1;
+  double work_scale = 0.001;
+  double work_power = 1.0;
+  double noise_frac = 0.02;
+  /// Probability that an input's *content* blows the demand up (e.g. a
+  /// compression-resistant file): cpu demand multiplies by spike_factor.
+  /// This is the misprediction source the safeguard exists for (§5.2) —
+  /// invisible to any size-based model.
+  double spike_probability = 0.06;
+  double spike_factor = 2.6;
+  double min_mem = 64.0;
+};
+
+/// Parameters of an input-size-unrelated function: demands depend only on
+/// the content seed.
+struct SizeUnrelatedParams {
+  double size_lo = 1.0;
+  double size_hi = 1000.0;
+  int cpu_lo = 1;
+  int cpu_hi = 8;
+  double mem_lo = 128.0;
+  double mem_hi = 512.0;
+  double work_mu = 1.0;     // lognormal location of core-seconds
+  double work_sigma = 0.4;  // lognormal scale
+  /// Heavy invocations are parallel invocations: total work is capped at
+  /// this many core-seconds per demanded core, so tail jobs stay
+  /// accelerable rather than serial stragglers.
+  double work_per_core_cap = 25.0;
+  double min_mem = 64.0;
+};
+
+class SizeRelatedFunction final : public sim::FunctionModel {
+ public:
+  SizeRelatedFunction(sim::FunctionId id, std::string name,
+                      sim::Resources user_alloc, SizeRelatedParams params);
+
+  sim::FunctionId id() const override { return id_; }
+  std::string name() const override { return name_; }
+  sim::Resources user_allocation() const override { return user_alloc_; }
+  bool size_related() const override { return true; }
+  sim::DemandProfile evaluate(const sim::InputSpec& input) const override;
+  sim::InputSpec sample_input(util::Rng& rng) const override;
+
+  const SizeRelatedParams& params() const { return params_; }
+
+ private:
+  sim::FunctionId id_;
+  std::string name_;
+  sim::Resources user_alloc_;
+  SizeRelatedParams params_;
+};
+
+class SizeUnrelatedFunction final : public sim::FunctionModel {
+ public:
+  SizeUnrelatedFunction(sim::FunctionId id, std::string name,
+                        sim::Resources user_alloc, SizeUnrelatedParams params);
+
+  sim::FunctionId id() const override { return id_; }
+  std::string name() const override { return name_; }
+  sim::Resources user_allocation() const override { return user_alloc_; }
+  bool size_related() const override { return false; }
+  sim::DemandProfile evaluate(const sim::InputSpec& input) const override;
+  sim::InputSpec sample_input(util::Rng& rng) const override;
+
+  const SizeUnrelatedParams& params() const { return params_; }
+
+ private:
+  sim::FunctionId id_;
+  std::string name_;
+  sim::Resources user_alloc_;
+  SizeUnrelatedParams params_;
+};
+
+/// The full ten-application catalog of Table 1 (ids 0..9 in table order:
+/// UL, TN, CP, DV, DH, VP, IR, GP, GM, GB).
+sim::FunctionCatalog sebs_catalog();
+
+/// The five input-size-related applications only (ids remapped to 0..4).
+sim::FunctionCatalog sebs_catalog_size_related();
+
+/// The five input-size-unrelated applications only (ids remapped to 0..4).
+sim::FunctionCatalog sebs_catalog_size_unrelated();
+
+}  // namespace libra::workload

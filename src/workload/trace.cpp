@@ -1,0 +1,153 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace libra::workload {
+
+using sim::FunctionCatalog;
+using sim::FunctionId;
+using sim::InputSpec;
+using sim::Invocation;
+using sim::InvocationId;
+
+Invocation make_invocation(const FunctionCatalog& catalog, InvocationId id,
+                           FunctionId func, const InputSpec& input,
+                           double arrival) {
+  const auto& model = catalog.at(func);
+  Invocation inv;
+  inv.id = id;
+  inv.func = func;
+  inv.input = input;
+  inv.arrival = arrival;
+  inv.user_alloc = model.user_allocation();
+  inv.truth = model.evaluate(input);
+  inv.effective = inv.user_alloc;
+  return inv;
+}
+
+std::vector<Invocation> generate_trace(const FunctionCatalog& catalog,
+                                       const TraceConfig& cfg) {
+  if (catalog.size() == 0)
+    throw std::invalid_argument("generate_trace: empty catalog");
+  util::Rng rng(cfg.seed);
+
+  std::vector<double> weights = cfg.function_weights;
+  if (weights.empty()) {
+    // Azure-like mix: invocation volume skews toward the over-provisioned
+    // bread-and-butter functions (the report behind the paper: most
+    // functions use only 20-60% of their allocation), with a meaningful
+    // tail of under-provisioned, accelerable work.
+    static const double kTableOneMix[10] = {2.0, 1.5, 2.5, 1.2, 2.0,
+                                            2.0, 0.8, 0.6, 0.5, 0.5};
+    weights.resize(catalog.size());
+    for (size_t i = 0; i < weights.size(); ++i)
+      weights[i] = catalog.size() == 10
+                       ? kTableOneMix[i]
+                       : 1.0 / static_cast<double>(1 + i % 5);
+  }
+  if (weights.size() != catalog.size())
+    throw std::invalid_argument("generate_trace: weight/catalog mismatch");
+
+  struct Pending {
+    double arrival;
+    FunctionId func;
+  };
+  std::vector<Pending> arrivals;
+  const double rate_per_sec = cfg.rpm / 60.0;
+  double t = 0.0;
+  while (true) {
+    t += rng.exponential(rate_per_sec);
+    if (t >= cfg.duration) break;
+    const auto func = static_cast<FunctionId>(rng.weighted_index(weights));
+    arrivals.push_back({t, func});
+    if (rng.bernoulli(cfg.burst_probability)) {
+      // Correlated burst: the same function fires several times within ~1 s,
+      // the pattern the timeliness machinery must absorb.
+      for (int b = 0; b < cfg.burst_size; ++b) {
+        const double bt = t + rng.uniform(0.0, 1.0);
+        if (bt < cfg.duration) arrivals.push_back({bt, func});
+      }
+    }
+  }
+  std::sort(arrivals.begin(), arrivals.end(),
+            [](const Pending& a, const Pending& b) {
+              return a.arrival < b.arrival;
+            });
+
+  std::vector<Invocation> trace;
+  trace.reserve(arrivals.size());
+  for (size_t i = 0; i < arrivals.size(); ++i) {
+    auto input = catalog.at(arrivals[i].func).sample_input(rng);
+    trace.push_back(make_invocation(catalog, static_cast<InvocationId>(i),
+                                    arrivals[i].func, input,
+                                    arrivals[i].arrival));
+  }
+  return trace;
+}
+
+std::vector<Invocation> single_node_trace(const FunctionCatalog& catalog,
+                                          uint64_t seed) {
+  // 165 invocations over ~4 minutes (~41 RPM), matching the paper's single
+  // trace set. We draw with a fixed-duration config, then trim/extend the
+  // count deterministically to exactly 165.
+  TraceConfig cfg;
+  cfg.duration = 60.0;
+  cfg.rpm = 160.0;
+  cfg.burst_probability = 0.08;
+  cfg.burst_size = 3;
+  cfg.seed = seed;
+  auto trace = generate_trace(catalog, cfg);
+  util::Rng rng(util::mix64(seed ^ 0x165165u));
+  while (trace.size() < 165) {
+    const auto func =
+        static_cast<FunctionId>(rng.uniform_int(0,
+                                                static_cast<int64_t>(catalog.size()) - 1));
+    auto input = catalog.at(func).sample_input(rng);
+    const double arrival = rng.uniform(0.0, cfg.duration);
+    trace.push_back(make_invocation(catalog,
+                                    static_cast<InvocationId>(trace.size()),
+                                    func, input, arrival));
+  }
+  trace.resize(165);
+  std::sort(trace.begin(), trace.end(),
+            [](const Invocation& a, const Invocation& b) {
+              return a.arrival < b.arrival;
+            });
+  for (size_t i = 0; i < trace.size(); ++i)
+    trace[i].id = static_cast<InvocationId>(i);
+  return trace;
+}
+
+std::vector<Invocation> multi_trace(const FunctionCatalog& catalog, double rpm,
+                                    uint64_t seed) {
+  TraceConfig cfg;
+  cfg.duration = 60.0;
+  cfg.rpm = rpm;
+  cfg.burst_probability = 0.05;
+  cfg.burst_size = 3;
+  cfg.seed = util::mix64(seed ^ static_cast<uint64_t>(rpm * 1000));
+  return generate_trace(catalog, cfg);
+}
+
+const std::vector<double>& multi_set_rpms() {
+  static const std::vector<double> kRpms = {10,  20,  30,  40,  50,
+                                            60,  120, 180, 240, 300};
+  return kRpms;
+}
+
+std::vector<Invocation> burst_trace(const FunctionCatalog& catalog,
+                                    size_t count, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Invocation> trace;
+  trace.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const auto func = static_cast<FunctionId>(i % catalog.size());
+    auto input = catalog.at(func).sample_input(rng);
+    trace.push_back(make_invocation(catalog, static_cast<InvocationId>(i),
+                                    func, input, 0.0));
+  }
+  return trace;
+}
+
+}  // namespace libra::workload

@@ -1,0 +1,58 @@
+// Invocation trace generation modeled on the Azure Functions traces the
+// paper samples (§8.2.2): Poisson arrivals with a skewed per-function mix
+// plus occasional bursts. Provides the paper's three workload shapes:
+//  * the `single` set (165 invocations) for the single-node experiments,
+//  * ten `multi` sets at 10..300 RPM over one minute (1050 invocations total),
+//  * concurrent burst sets for the Fig. 12 scalability study.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/function.h"
+#include "sim/invocation.h"
+
+namespace libra::workload {
+
+struct TraceConfig {
+  /// Arrival window in seconds.
+  double duration = 60.0;
+  /// Aggregate arrival rate, requests per minute.
+  double rpm = 60.0;
+  /// Per-function mix weights (empty = skewed default over the catalog).
+  std::vector<double> function_weights;
+  /// Probability that an arrival spawns a small burst (correlated arrivals).
+  double burst_probability = 0.05;
+  /// Burst fan-out (extra invocations of the same function within ~1 s).
+  int burst_size = 4;
+  uint64_t seed = 42;
+};
+
+/// Generates a trace: materialized invocations with ground-truth demand
+/// profiles pulled from the catalog, sorted by arrival, ids 0..n-1.
+std::vector<sim::Invocation> generate_trace(const sim::FunctionCatalog& catalog,
+                                            const TraceConfig& cfg);
+
+/// The `single` set: 165 invocations over ~4 minutes for one big node.
+std::vector<sim::Invocation> single_node_trace(
+    const sim::FunctionCatalog& catalog, uint64_t seed);
+
+/// One `multi` set: `rpm` requests/min over one minute (paper's ten sets are
+/// rpm in {10..60, 120..300}; the sizes sum to 1050).
+std::vector<sim::Invocation> multi_trace(const sim::FunctionCatalog& catalog,
+                                         double rpm, uint64_t seed);
+
+/// The ten multi-set RPM values used throughout §8.4.
+const std::vector<double>& multi_set_rpms();
+
+/// Fig. 12 style workload: `count` invocations arriving simultaneously
+/// (evenly divided across the catalog's functions).
+std::vector<sim::Invocation> burst_trace(const sim::FunctionCatalog& catalog,
+                                         size_t count, uint64_t seed);
+
+/// Materializes one invocation (helper shared by generators and tests).
+sim::Invocation make_invocation(const sim::FunctionCatalog& catalog,
+                                sim::InvocationId id, sim::FunctionId func,
+                                const sim::InputSpec& input, double arrival);
+
+}  // namespace libra::workload

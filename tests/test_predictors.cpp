@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/profiler.h"
+#include "core/window_predictors.h"
+#include "workload/function_catalog.h"
+#include "workload/trace.h"
+
+namespace libra::core {
+namespace {
+
+using sim::Invocation;
+using sim::Resources;
+
+Invocation sample_invocation(const sim::FunctionCatalog& cat, int func,
+                             uint64_t seed) {
+  util::Rng rng(seed);
+  return workload::make_invocation(cat, 0, func,
+                                   cat.at(func).sample_input(rng), 0.0);
+}
+
+TEST(UserConfigPredictor, PredictsExactlyUserAllocation) {
+  UserConfigPredictor p;
+  const auto cat = workload::sebs_catalog();
+  auto inv = sample_invocation(cat, 0, 1);
+  p.predict(inv);
+  EXPECT_EQ(inv.pred_demand.cpu, inv.user_alloc.cpu);
+  EXPECT_FALSE(inv.accelerable());
+}
+
+TEST(MovingWindow, ColdStartFallsBackToUserAlloc) {
+  MovingWindowPredictor p(5);
+  const auto cat = workload::sebs_catalog();
+  auto inv = sample_invocation(cat, 1, 2);
+  p.predict(inv);
+  EXPECT_TRUE(inv.first_seen);
+  EXPECT_EQ(inv.pred_demand.cpu, inv.user_alloc.cpu);
+}
+
+TEST(MovingWindow, PredictsWindowMaximum) {
+  MovingWindowPredictor p(3);
+  Observation obs;
+  obs.func = 1;
+  for (double cpu : {1.0, 3.0, 2.0}) {
+    obs.observed_peak = {cpu, cpu * 100};
+    obs.exec_duration = cpu;
+    p.observe(obs);
+  }
+  const auto cat = workload::sebs_catalog();
+  auto inv = sample_invocation(cat, 1, 3);
+  p.predict(inv);
+  EXPECT_DOUBLE_EQ(inv.pred_demand.cpu, 3.0);
+  EXPECT_DOUBLE_EQ(inv.pred_demand.mem, 300.0);
+  EXPECT_DOUBLE_EQ(inv.pred_duration, 3.0);
+}
+
+TEST(MovingWindow, OldObservationsAgeOut) {
+  MovingWindowPredictor p(2);
+  Observation obs;
+  obs.func = 1;
+  obs.observed_peak = {8.0, 800};
+  obs.exec_duration = 8;
+  p.observe(obs);
+  obs.observed_peak = {1.0, 100};
+  obs.exec_duration = 1;
+  p.observe(obs);
+  p.observe(obs);  // the 8-core observation falls out of the window
+  const auto cat = workload::sebs_catalog();
+  auto inv = sample_invocation(cat, 1, 4);
+  p.predict(inv);
+  EXPECT_DOUBLE_EQ(inv.pred_demand.cpu, 1.0);
+}
+
+TEST(Ewma, ConvergesTowardRecentObservations) {
+  EwmaPredictor p(0.5);
+  Observation obs;
+  obs.func = 2;
+  obs.observed_peak = {4.0, 400};
+  obs.exec_duration = 10;
+  p.observe(obs);
+  obs.observed_peak = {2.0, 200};
+  obs.exec_duration = 6;
+  for (int i = 0; i < 10; ++i) p.observe(obs);
+  const auto cat = workload::sebs_catalog();
+  auto inv = sample_invocation(cat, 2, 5);
+  p.predict(inv);
+  EXPECT_NEAR(inv.pred_demand.cpu, 2.0, 0.05);
+  EXPECT_NEAR(inv.pred_duration, 6.0, 0.1);
+}
+
+class ProfilerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    catalog_ = std::make_shared<const sim::FunctionCatalog>(
+        workload::sebs_catalog());
+    ProfilerConfig cfg;
+    profiler_ = std::make_unique<Profiler>(cfg, catalog_);
+  }
+  std::shared_ptr<const sim::FunctionCatalog> catalog_;
+  std::unique_ptr<Profiler> profiler_;
+};
+
+TEST_F(ProfilerTest, FirstInvocationServedWithUserConfig) {
+  auto inv = sample_invocation(*catalog_, 0, 6);
+  profiler_->predict(inv);
+  EXPECT_TRUE(inv.first_seen);
+  EXPECT_DOUBLE_EQ(inv.pred_demand.cpu, inv.user_alloc.cpu);
+}
+
+TEST_F(ProfilerTest, ClassifiesAllTenFunctionsCorrectly) {
+  profiler_->prewarm(*catalog_, 1234, 20);
+  for (int f = 0; f < 10; ++f) {
+    const auto metrics = profiler_->train_metrics(f);
+    ASSERT_TRUE(metrics.has_value()) << "func " << f;
+    EXPECT_EQ(metrics->classified_size_related,
+              catalog_->at(f).size_related())
+        << "func " << catalog_->at(f).name();
+  }
+}
+
+TEST_F(ProfilerTest, SizeRelatedPredictionsTrackDemand) {
+  profiler_->prewarm(*catalog_, 1234, 20);
+  util::Rng rng(7);
+  double abs_err = 0;
+  int n = 0;
+  for (int i = 0; i < 60; ++i) {
+    auto inv = workload::make_invocation(
+        *catalog_, i, /*DH*/ 4, catalog_->at(4).sample_input(rng), 0.0);
+    profiler_->predict(inv);
+    EXPECT_FALSE(inv.first_seen);
+    EXPECT_TRUE(inv.pred_size_related);
+    abs_err += std::abs(inv.pred_demand.cpu - inv.truth.demand.cpu);
+    ++n;
+  }
+  // Spikes (~6%) are unpredictable by design; the average error stays small.
+  EXPECT_LT(abs_err / n, 1.0);
+}
+
+TEST_F(ProfilerTest, UnrelatedPredictionsAreConservativeTail) {
+  profiler_->prewarm(*catalog_, 1234, 40);
+  util::Rng rng(8);
+  auto inv = workload::make_invocation(*catalog_, 0, /*VP*/ 5,
+                                       catalog_->at(5).sample_input(rng), 0.0);
+  profiler_->predict(inv);
+  EXPECT_FALSE(inv.pred_size_related);
+  // p99 of a 2..8 core demand distribution: near the top.
+  EXPECT_GE(inv.pred_demand.cpu, 6.0);
+}
+
+TEST_F(ProfilerTest, ProfilingWindowProbesBeforeHistogramReady) {
+  // Without prewarm, the first VP invocation trains (histogram mode), and
+  // subsequent ones inside the window are probes at the platform max.
+  auto first = sample_invocation(*catalog_, 5, 9);
+  profiler_->predict(first);
+  EXPECT_TRUE(first.first_seen);
+  auto second = sample_invocation(*catalog_, 5, 10);
+  profiler_->predict(second);
+  EXPECT_TRUE(second.profiling_probe);
+  EXPECT_GE(second.pred_demand.cpu, 8.0);
+}
+
+TEST_F(ProfilerTest, MemStrikesDisableMemoryHarvesting) {
+  EXPECT_FALSE(profiler_->mem_harvest_disabled(3, 3));
+  profiler_->record_mem_safeguard_strike(3);
+  profiler_->record_mem_safeguard_strike(3);
+  EXPECT_FALSE(profiler_->mem_harvest_disabled(3, 3));
+  profiler_->record_mem_safeguard_strike(3);
+  EXPECT_TRUE(profiler_->mem_harvest_disabled(3, 3));
+}
+
+TEST_F(ProfilerTest, ForceFlagsOverrideClassification) {
+  ProfilerConfig hist_cfg;
+  hist_cfg.force_histogram = true;
+  Profiler hist(hist_cfg, catalog_);
+  hist.prewarm(*catalog_, 1, 20);
+  EXPECT_FALSE(hist.train_metrics(0)->classified_size_related);
+
+  ProfilerConfig ml_cfg;
+  ml_cfg.force_ml = true;
+  Profiler ml(ml_cfg, catalog_);
+  ml.prewarm(*catalog_, 1, 20);
+  EXPECT_TRUE(ml.train_metrics(5)->classified_size_related);
+
+  ProfilerConfig bad;
+  bad.force_ml = bad.force_histogram = true;
+  EXPECT_THROW(Profiler(bad, catalog_), std::invalid_argument);
+}
+
+TEST_F(ProfilerTest, TrainMetricsShowTableTwoShape) {
+  profiler_->prewarm(*catalog_, 1234, 20);
+  // Size-related functions: high accuracy, high R².
+  for (int f = 0; f < 5; ++f) {
+    const auto m = *profiler_->train_metrics(f);
+    EXPECT_GE(m.cpu_accuracy, 0.8) << f;
+    EXPECT_GE(m.duration_r2, 0.8) << f;
+  }
+  // Size-unrelated: poor accuracy and/or non-positive R² (Table 2 bottom).
+  for (int f = 5; f < 10; ++f) {
+    const auto m = *profiler_->train_metrics(f);
+    EXPECT_TRUE(m.cpu_accuracy < 0.8 || m.duration_r2 < 0.5) << f;
+  }
+}
+
+}  // namespace
+}  // namespace libra::core

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace libra::util {
+namespace {
+
+TEST(Stats, MeanAndStddev) {
+  std::vector<double> xs = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(mean(xs), 3.0);
+  EXPECT_NEAR(stddev(xs), std::sqrt(2.5), 1e-12);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev({1.0}), 0.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> xs = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 40);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 25);
+}
+
+TEST(Stats, PercentileRejectsBadInput) {
+  EXPECT_THROW(percentile({}, 50), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, 101), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, -1), std::invalid_argument);
+}
+
+TEST(Stats, SummaryFields) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(i);
+  const auto s = summarize(xs);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.min, 1);
+  EXPECT_DOUBLE_EQ(s.max, 100);
+  EXPECT_NEAR(s.p50, 50.5, 1e-9);
+  EXPECT_NEAR(s.p99, 99.01, 0.05);
+}
+
+TEST(Cdf, AtAndQuantileAreConsistent) {
+  Cdf cdf({1, 2, 3, 4, 5, 6, 7, 8, 9, 10});
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(5.0), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.at(100.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 10.0);
+}
+
+TEST(Cdf, PointsAreMonotone) {
+  Cdf cdf({5, 1, 9, 3, 7});
+  const auto pts = cdf.points(10);
+  ASSERT_EQ(pts.size(), 10u);
+  for (size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_LE(pts[i - 1].first, pts[i].first);
+    EXPECT_LE(pts[i - 1].second, pts[i].second);
+  }
+}
+
+TEST(Accumulator, MatchesBatchStatistics) {
+  Accumulator acc;
+  std::vector<double> xs = {2, 4, 4, 4, 5, 5, 7, 9};
+  for (double x : xs) acc.add(x);
+  EXPECT_EQ(acc.count(), xs.size());
+  EXPECT_DOUBLE_EQ(acc.mean(), mean(xs));
+  EXPECT_NEAR(acc.stddev(), stddev(xs), 1e-12);
+  EXPECT_DOUBLE_EQ(acc.min(), 2);
+  EXPECT_DOUBLE_EQ(acc.max(), 9);
+}
+
+TEST(StepSeries, IntegralOfPiecewiseConstant) {
+  StepSeries s;
+  s.record(0.0, 2.0);
+  s.record(10.0, 4.0);
+  // [0,10): 2, [10, 20): 4 -> integral over [0,20] = 20 + 40.
+  EXPECT_DOUBLE_EQ(s.integral(0, 20), 60.0);
+  EXPECT_DOUBLE_EQ(s.average(0, 20), 3.0);
+  EXPECT_DOUBLE_EQ(s.peak(0, 20), 4.0);
+}
+
+TEST(StepSeries, PartialWindow) {
+  StepSeries s;
+  s.record(0.0, 1.0);
+  s.record(5.0, 3.0);
+  EXPECT_DOUBLE_EQ(s.integral(4.0, 6.0), 1.0 + 3.0);
+  EXPECT_DOUBLE_EQ(s.peak(0.0, 4.9), 1.0);
+}
+
+TEST(StepSeries, SameInstantUpdateOverrides) {
+  StepSeries s;
+  s.record(1.0, 5.0);
+  s.record(1.0, 7.0);
+  EXPECT_DOUBLE_EQ(s.last_value(), 7.0);
+  EXPECT_DOUBLE_EQ(s.integral(1.0, 2.0), 7.0);
+}
+
+TEST(StepSeries, RejectsTimeGoingBackwards) {
+  StepSeries s;
+  s.record(5.0, 1.0);
+  EXPECT_THROW(s.record(4.0, 1.0), std::invalid_argument);
+}
+
+TEST(StepSeries, SampledDownsamples) {
+  StepSeries s;
+  for (int i = 0; i < 100; ++i) s.record(i, i);
+  const auto pts = s.sampled(5);
+  ASSERT_EQ(pts.size(), 5u);
+  EXPECT_DOUBLE_EQ(pts.front().first, 0.0);
+  EXPECT_DOUBLE_EQ(pts.back().first, 99.0);
+  EXPECT_DOUBLE_EQ(pts.back().second, 99.0);
+}
+
+TEST(AsciiHistogram, ProducesOneLinePerBin) {
+  const std::string h = ascii_histogram({1, 2, 2, 3, 3, 3}, 3, 20);
+  EXPECT_EQ(std::count(h.begin(), h.end(), '\n'), 3);
+}
+
+// Property: percentile is monotone in p for arbitrary samples.
+class PercentileMonotone : public ::testing::TestWithParam<int> {};
+
+TEST_P(PercentileMonotone, MonotoneInP) {
+  util::Rng rng(static_cast<uint64_t>(GetParam()));
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(rng.normal(0, 10));
+  double prev = percentile(xs, 0);
+  for (double p = 5; p <= 100; p += 5) {
+    const double cur = percentile(xs, p);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PercentileMonotone,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace libra::util

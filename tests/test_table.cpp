@@ -1,0 +1,53 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/table.h"
+
+namespace libra::util {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t("demo");
+  t.set_header({"a", "b"});
+  t.add_row({"1", "2"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find("a"), std::string::npos);
+  EXPECT_NE(out.find("1"), std::string::npos);
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t("demo");
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, HeaderAfterRowsThrows) {
+  Table t("demo");
+  t.add_row({"x"});
+  EXPECT_THROW(t.set_header({"a"}), std::logic_error);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::pct(0.392, 1), "39.2%");
+}
+
+TEST(Table, PrintWritesToStream) {
+  Table t("demo");
+  t.add_row({"x"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_FALSE(os.str().empty());
+}
+
+TEST(Banner, ContainsText) {
+  std::ostringstream os;
+  print_banner(os, "hello");
+  EXPECT_NE(os.str().find("hello"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace libra::util

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "workload/function_catalog.h"
+#include "workload/trace.h"
+
+namespace libra::workload {
+namespace {
+
+TEST(Catalog, HasTenFunctionsWithTableOneNames) {
+  const auto cat = sebs_catalog();
+  ASSERT_EQ(cat.size(), 10u);
+  const std::vector<std::string> names = {"UL", "TN", "CP", "DV", "DH",
+                                          "VP", "IR", "GP", "GM", "GB"};
+  for (size_t i = 0; i < names.size(); ++i) {
+    EXPECT_EQ(cat.at(static_cast<int>(i)).name(), names[i]);
+    EXPECT_EQ(cat.at(static_cast<int>(i)).id(), static_cast<int>(i));
+  }
+}
+
+TEST(Catalog, FirstFiveSizeRelatedLastFiveNot) {
+  const auto cat = sebs_catalog();
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(cat.at(i).size_related());
+  for (int i = 5; i < 10; ++i) EXPECT_FALSE(cat.at(i).size_related());
+}
+
+TEST(Catalog, SubCatalogsRemapIds) {
+  const auto related = sebs_catalog_size_related();
+  const auto unrelated = sebs_catalog_size_unrelated();
+  ASSERT_EQ(related.size(), 5u);
+  ASSERT_EQ(unrelated.size(), 5u);
+  EXPECT_EQ(unrelated.at(0).name(), "VP");
+  EXPECT_EQ(unrelated.at(0).id(), 0);
+}
+
+TEST(Catalog, EvaluateIsDeterministic) {
+  const auto cat = sebs_catalog();
+  const sim::InputSpec in{1000.0, 12345};
+  for (int f = 0; f < 10; ++f) {
+    const auto a = cat.at(f).evaluate(in);
+    const auto b = cat.at(f).evaluate(in);
+    EXPECT_DOUBLE_EQ(a.demand.cpu, b.demand.cpu);
+    EXPECT_DOUBLE_EQ(a.demand.mem, b.demand.mem);
+    EXPECT_DOUBLE_EQ(a.work, b.work);
+  }
+}
+
+TEST(Catalog, SizeRelatedDemandGrowsWithSize) {
+  const auto cat = sebs_catalog();
+  const auto& dh = cat.at(4);  // DH
+  double small_cpu = 0, big_cpu = 0, small_work = 0, big_work = 0;
+  // Average across content seeds to wash out noise and spikes.
+  for (uint64_t s = 0; s < 40; ++s) {
+    small_cpu += dh.evaluate({200, s}).demand.cpu;
+    big_cpu += dh.evaluate({9000, s}).demand.cpu;
+    small_work += dh.evaluate({200, s}).work;
+    big_work += dh.evaluate({9000, s}).work;
+  }
+  EXPECT_LT(small_cpu, big_cpu);
+  EXPECT_LT(small_work, big_work);
+}
+
+TEST(Catalog, SizeUnrelatedDemandIgnoresSize) {
+  const auto cat = sebs_catalog();
+  const auto& vp = cat.at(5);  // VP
+  const auto a = vp.evaluate({1.0, 777});
+  const auto b = vp.evaluate({200.0, 777});
+  EXPECT_DOUBLE_EQ(a.demand.cpu, b.demand.cpu);  // same content => same demand
+  EXPECT_DOUBLE_EQ(a.work, b.work);
+  const auto c = vp.evaluate({1.0, 778});
+  EXPECT_TRUE(a.demand.cpu != c.demand.cpu || a.work != c.work);
+}
+
+TEST(Catalog, DemandsRespectDeclaredBounds) {
+  const auto cat = sebs_catalog();
+  util::Rng rng(5);
+  for (int f = 0; f < 10; ++f) {
+    const auto& func = cat.at(f);
+    for (int i = 0; i < 200; ++i) {
+      const auto in = func.sample_input(rng);
+      const auto t = func.evaluate(in);
+      EXPECT_GE(t.demand.cpu, 1.0);
+      EXPECT_LE(t.demand.cpu, 8.0);
+      EXPECT_GE(t.demand.mem, t.min_mem);
+      EXPECT_GT(t.work, 0.0);
+      EXPECT_GE(func.user_allocation().cpu, 1.0);
+    }
+  }
+}
+
+TEST(Catalog, SpikesOccurAtConfiguredRate) {
+  // ~6% of size-related invocations should have content-driven demand
+  // spikes; verify DH's spike frequency lands in a sane band.
+  const auto cat = sebs_catalog();
+  const auto& dh = cat.at(4);
+  int spiked = 0;
+  const int n = 3000;
+  for (uint64_t s = 0; s < n; ++s) {
+    const auto base = dh.evaluate({500, s});
+    // Spiked invocations have work well above the deterministic curve.
+    if (base.work > (10.0 + 0.006 * 500) * 1.5) ++spiked;
+  }
+  const double rate = static_cast<double>(spiked) / n;
+  EXPECT_GT(rate, 0.02);
+  EXPECT_LT(rate, 0.12);
+}
+
+TEST(Trace, SingleSetHasExactly165SortedInvocations) {
+  const auto cat = sebs_catalog();
+  const auto trace = single_node_trace(cat, 7);
+  ASSERT_EQ(trace.size(), 165u);
+  for (size_t i = 1; i < trace.size(); ++i)
+    EXPECT_LE(trace[i - 1].arrival, trace[i].arrival);
+  for (size_t i = 0; i < trace.size(); ++i)
+    EXPECT_EQ(trace[i].id, static_cast<int64_t>(i));
+}
+
+TEST(Trace, MultiSetRpmsSumTo1050Expected) {
+  // Paper: ten multi sets, 10..300 RPM, 1050 invocations total. Arrivals are
+  // Poisson so individual counts vary; the RPM grid itself must sum to 1050
+  // invocations-per-minute as in the paper.
+  const auto& rpms = multi_set_rpms();
+  ASSERT_EQ(rpms.size(), 10u);
+  double total = 0;
+  for (double r : rpms) total += r;
+  EXPECT_DOUBLE_EQ(total, 1050.0);
+}
+
+TEST(Trace, MultiTraceCountTracksRpm) {
+  const auto cat = sebs_catalog();
+  const auto low = multi_trace(cat, 10, 3);
+  const auto high = multi_trace(cat, 300, 3);
+  EXPECT_LT(low.size(), high.size());
+  EXPECT_NEAR(static_cast<double>(high.size()), 300.0, 90.0);
+  for (const auto& inv : high) {
+    EXPECT_GE(inv.arrival, 0.0);
+    EXPECT_LT(inv.arrival, 60.0);
+  }
+}
+
+TEST(Trace, GroundTruthMatchesCatalog) {
+  const auto cat = sebs_catalog();
+  const auto trace = single_node_trace(cat, 11);
+  for (const auto& inv : trace) {
+    const auto truth = cat.at(inv.func).evaluate(inv.input);
+    EXPECT_DOUBLE_EQ(inv.truth.work, truth.work);
+    EXPECT_DOUBLE_EQ(inv.truth.demand.cpu, truth.demand.cpu);
+    EXPECT_EQ(inv.user_alloc.cpu, cat.at(inv.func).user_allocation().cpu);
+  }
+}
+
+TEST(Trace, BurstTraceAllArriveAtZero) {
+  const auto cat = sebs_catalog();
+  const auto trace = burst_trace(cat, 100, 1);
+  ASSERT_EQ(trace.size(), 100u);
+  for (const auto& inv : trace) EXPECT_DOUBLE_EQ(inv.arrival, 0.0);
+  // Evenly divided across functions (§8.5).
+  int counts[10] = {0};
+  for (const auto& inv : trace) ++counts[inv.func];
+  for (int c : counts) EXPECT_EQ(c, 10);
+}
+
+TEST(Trace, CustomWeightsRespected) {
+  const auto cat = sebs_catalog();
+  TraceConfig cfg;
+  cfg.duration = 600;
+  cfg.rpm = 300;
+  cfg.function_weights = {1, 0, 0, 0, 0, 0, 0, 0, 0, 0};
+  cfg.burst_probability = 0;
+  const auto trace = generate_trace(cat, cfg);
+  for (const auto& inv : trace) EXPECT_EQ(inv.func, 0);
+}
+
+TEST(Trace, DifferentSeedsProduceDifferentTraces) {
+  const auto cat = sebs_catalog();
+  const auto a = single_node_trace(cat, 1);
+  const auto b = single_node_trace(cat, 2);
+  bool differs = false;
+  for (size_t i = 0; i < a.size(); ++i)
+    if (a[i].func != b[i].func || a[i].arrival != b[i].arrival) differs = true;
+  EXPECT_TRUE(differs);
+}
+
+// Property sweep over RPM: generated arrival rates track the request.
+class TraceRpmSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(TraceRpmSweep, ArrivalRateTracksRpm) {
+  const auto cat = sebs_catalog();
+  const auto trace = multi_trace(cat, GetParam(), 99);
+  // Bursts add ~15%; accept a generous band.
+  EXPECT_NEAR(static_cast<double>(trace.size()), GetParam(),
+              0.45 * GetParam() + 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rpms, TraceRpmSweep,
+                         ::testing::Values(10.0, 60.0, 120.0, 300.0));
+
+}  // namespace
+}  // namespace libra::workload
