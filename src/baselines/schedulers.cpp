@@ -14,7 +14,7 @@ NodeId RoundRobinScheduler::select(Invocation& inv, EngineApi& api) {
   const auto& nodes = api.nodes();
   for (size_t attempt = 0; attempt < nodes.size(); ++attempt) {
     const size_t idx = (cursor_ + attempt) % nodes.size();
-    if (shard_feasible(nodes[idx], inv)) {
+    if (shard_feasible(nodes[idx], inv, api)) {
       cursor_ = idx + 1;
       return nodes[idx].id();
     }
@@ -26,7 +26,7 @@ NodeId JsqScheduler::select(Invocation& inv, EngineApi& api) {
   NodeId best = kNoNode;
   int best_queue = std::numeric_limits<int>::max();
   for (const auto& node : api.nodes()) {
-    if (!shard_feasible(node, inv)) continue;
+    if (!shard_feasible(node, inv, api)) continue;
     if (node.running_invocations() < best_queue) {
       best_queue = node.running_invocations();
       best = node.id();
@@ -39,7 +39,7 @@ NodeId MwsScheduler::select(Invocation& inv, EngineApi& api) {
   NodeId best = kNoNode;
   double best_pressure = std::numeric_limits<double>::infinity();
   for (const auto& node : api.nodes()) {
-    if (!shard_feasible(node, inv)) continue;
+    if (!shard_feasible(node, inv, api)) continue;
     const auto& cap = node.capacity();
     const auto& used = node.allocated();
     const double pressure =

@@ -113,6 +113,26 @@ void HarvestResourcePool::reharvest(InvocationId borrower, SimTime now) {
   borrows_.erase(keep_end, borrows_.end());
 }
 
+std::vector<HarvestResourcePool::Revocation> HarvestResourcePool::preempt_all(
+    SimTime now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  accrue_idle_locked(now);
+  entries_.clear();
+  std::map<InvocationId, Resources> per_borrower;
+  for (const auto& r : borrows_) per_borrower[r.borrower] += r.amount;
+  borrows_.clear();
+  std::vector<Revocation> out;
+  out.reserve(per_borrower.size());
+  for (const auto& [borrower, amount] : per_borrower)
+    out.push_back({borrower, amount});
+  return out;
+}
+
+size_t HarvestResourcePool::outstanding_borrows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return borrows_.size();
+}
+
 PoolStatus HarvestResourcePool::snapshot(SimTime now) const {
   std::lock_guard<std::mutex> lock(mu_);
   PoolStatus status;

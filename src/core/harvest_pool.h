@@ -76,6 +76,15 @@ class HarvestResourcePool {
   /// already finished are gone (nothing to return).
   void reharvest(sim::InvocationId borrower, sim::SimTime now);
 
+  /// Node-crash teardown: drops every idle entry and returns ALL outstanding
+  /// grants aggregated per borrower, so the policy can revoke them before the
+  /// engine reaps the node. Leaves the pool empty (idle-time integrals are
+  /// preserved — the node accrued that history before dying).
+  std::vector<Revocation> preempt_all(sim::SimTime now);
+
+  /// Number of outstanding borrow records (grants not yet returned/revoked).
+  size_t outstanding_borrows() const;
+
   /// Snapshot for health-ping piggybacking.
   PoolStatus snapshot(sim::SimTime now) const;
 

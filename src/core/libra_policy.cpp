@@ -319,6 +319,39 @@ void LibraPolicy::on_health_ping(NodeId node, EngineApi& api) {
   snapshots_[node] = pools_[node].snapshot(api.now());
 }
 
+void LibraPolicy::on_node_down(NodeId node, EngineApi& api) {
+  last_seen_now_ = api.now();
+  // Harvest-safety invariant under churn: the dead node's pool dies with it.
+  // Preemptively release every idle entry and revoke every outstanding grant
+  // BEFORE the engine reaps the node, so no grant sourced there survives.
+  auto& pool = pools_[node];
+  const auto revocations = pool.preempt_all(api.now());
+  for (const auto& rev : revocations) {
+    ++stats_.pool_revocations;
+    if (!api.invocation_alive(rev.borrower)) continue;
+    Invocation& borrower = api.invocation(rev.borrower);
+    api.sync_accounting(borrower.id);
+    borrower.borrowed_in =
+        (borrower.borrowed_in - rev.amount).clamped_non_negative();
+    if (borrower.node != node) {
+      // Pools are per-node so borrowers are normally co-located (and about
+      // to be reaped anyway); a foreign borrower still gets the real revoke.
+      api.update_effective(
+          borrower.id, (borrower.effective - rev.amount).clamped_non_negative());
+    }
+  }
+  backfill_candidates_.erase(node);
+  // The controller keeps its stale pool snapshot: it only learns about the
+  // crash from missing health pings, never from this node-side event.
+}
+
+void LibraPolicy::on_node_up(NodeId node, EngineApi& api) {
+  last_seen_now_ = api.now();
+  // The node rejoins with an empty pool; drop the pre-crash snapshot so the
+  // first post-recovery ping advertises reality, not ghost inventory.
+  snapshots_[node] = PoolStatus{};
+}
+
 PoolStatus LibraPolicy::pool_status(NodeId node) const {
   auto it = snapshots_.find(node);
   return it != snapshots_.end() ? it->second : PoolStatus{};

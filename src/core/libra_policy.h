@@ -77,6 +77,8 @@ class LibraPolicy final : public sim::Policy, public PoolStatusProvider {
   void on_complete(sim::Invocation& inv, sim::EngineApi& api) override;
   void on_oom(sim::Invocation& inv, sim::EngineApi& api) override;
   void on_health_ping(sim::NodeId node, sim::EngineApi& api) override;
+  void on_node_down(sim::NodeId node, sim::EngineApi& api) override;
+  void on_node_up(sim::NodeId node, sim::EngineApi& api) override;
   sim::PolicyStats stats() const override;
 
   // PoolStatusProvider: piggybacked (possibly stale) snapshot.

@@ -14,6 +14,11 @@ bool shard_feasible(const sim::Node& node, const Invocation& inv) {
   return inv.user_alloc.fits_in(node.shard_free(inv.shard));
 }
 
+bool shard_feasible(const sim::Node& node, const Invocation& inv,
+                    const sim::EngineApi& api) {
+  return !api.node_suspected_down(node.id()) && shard_feasible(node, inv);
+}
+
 NodeId StickyHashState::pick(Invocation& inv, EngineApi& api) {
   const auto& nodes = api.nodes();
   const auto n = static_cast<uint64_t>(nodes.size());
@@ -25,7 +30,7 @@ NodeId StickyHashState::pick(Invocation& inv, EngineApi& api) {
         static_cast<uint64_t>(inv.func) * 0x9e3779b97f4a7c15ULL +
         static_cast<uint64_t>(salt));
     const auto candidate = static_cast<NodeId>(h % n);
-    if (shard_feasible(nodes[static_cast<size_t>(candidate)], inv))
+    if (shard_feasible(nodes[static_cast<size_t>(candidate)], inv, api))
       return candidate;
     ++salt;
   }
@@ -48,7 +53,7 @@ NodeId CoverageScheduler::select(Invocation& inv, EngineApi& api) {
   NodeId best = kNoNode;
   double best_score = -1.0;
   for (const auto& node : api.nodes()) {
-    if (!shard_feasible(node, inv)) continue;
+    if (!shard_feasible(node, inv, api)) continue;
     const PoolStatus status =
         provider_ ? provider_->pool_status(node.id()) : PoolStatus{};
     const auto cov = demand_coverage(status, api.now(), extra, window);

@@ -26,6 +26,12 @@ using SchedulerPtr = std::shared_ptr<SchedulerStrategy>;
 /// True when the node's shard slice can admit the user-defined allocation.
 bool shard_feasible(const sim::Node& node, const sim::Invocation& inv);
 
+/// Controller-side feasibility: shard capacity AND the node is not suspected
+/// down (§6.4 health pings). Schedulers must use this overload — it works
+/// from the deliberately stale ping-based health view, never ground truth.
+bool shard_feasible(const sim::Node& node, const sim::Invocation& inv,
+                    const sim::EngineApi& api);
+
 /// OpenWhisk-style sticky hashing: invocations of a function go to the same
 /// node (container reuse); when the target lacks capacity the hash advances
 /// and upcoming invocations of the function follow (§6.3).

@@ -60,6 +60,29 @@ Table summary_table(const std::string& title,
   return table;
 }
 
+Table resilience_table(const std::string& title,
+                       const std::vector<NamedRun>& runs) {
+  Table table(title);
+  table.set_header({"platform", "goodput", "lost", "retries", "crashes",
+                    "recoveries", "mean recov(s)", "stale sched", "cold fails",
+                    "dropped pings", "p99 lat(s)", "completion(s)"});
+  for (const auto& run : runs) {
+    const auto& m = run.metrics;
+    table.add_row({run.name, Table::pct(m.goodput()),
+                   std::to_string(m.lost_invocations),
+                   std::to_string(m.fault_retries),
+                   std::to_string(m.node_crashes),
+                   std::to_string(m.node_recoveries),
+                   Table::fmt(m.mean_recovery_latency(), 1),
+                   std::to_string(m.stale_snapshot_decisions),
+                   std::to_string(m.cold_start_failures),
+                   std::to_string(m.dropped_health_pings),
+                   Table::fmt(m.p99_latency(), 2),
+                   Table::fmt(m.workload_completion_time(), 1)});
+  }
+  return table;
+}
+
 Table outcome_table(const std::string& title,
                     const std::vector<NamedRun>& runs) {
   Table table(title);

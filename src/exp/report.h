@@ -29,6 +29,11 @@ util::Table cdf_table(const std::string& title,
 util::Table summary_table(const std::string& title,
                           const std::vector<NamedRun>& runs);
 
+/// Churn-resilience summary: goodput, losses, retries, crash/recovery
+/// counts, stale-snapshot decisions, P99 latency and completion time.
+util::Table resilience_table(const std::string& title,
+                             const std::vector<NamedRun>& runs);
+
 /// Per-outcome invocation counts (Fig. 8 marker classes).
 util::Table outcome_table(const std::string& title,
                           const std::vector<NamedRun>& runs);

@@ -38,6 +38,10 @@ class ContainerPool {
   /// Number of currently warm (non-expired) containers for `func`.
   int warm_count(FunctionId func, SimTime now) const;
 
+  /// Drops every warm container (node crash: the container runtime state is
+  /// gone). Start counters are cumulative and survive.
+  void clear() { warm_.clear(); }
+
   long total_cold_starts() const { return cold_starts_; }
   long total_warm_starts() const { return warm_starts_; }
 

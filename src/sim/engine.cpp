@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <string>
 
 #include "util/log.h"
 #include "util/rng.h"
@@ -14,9 +16,31 @@ Engine::Engine(EngineConfig cfg, std::shared_ptr<Policy> policy)
     : cfg_(std::move(cfg)), policy_(std::move(policy)), exec_(cfg_.exec) {
   if (!policy_) throw std::invalid_argument("Engine: null policy");
   if (cfg_.node_capacities.empty())
-    throw std::invalid_argument("Engine: no nodes configured");
-  if (cfg_.num_shards <= 0)
-    throw std::invalid_argument("Engine: num_shards <= 0");
+    throw std::invalid_argument(
+        "Engine: node_capacities is empty — configure at least one worker");
+  if (cfg_.num_shards < 1)
+    throw std::invalid_argument("Engine: num_shards must be >= 1, got " +
+                                std::to_string(cfg_.num_shards));
+  for (size_t i = 0; i < cfg_.node_capacities.size(); ++i) {
+    const auto& cap = cfg_.node_capacities[i];
+    if (cap.cpu <= 0.0 || cap.mem <= 0.0)
+      throw std::invalid_argument("Engine: node " + std::to_string(i) +
+                                  " has non-positive capacity " +
+                                  cap.to_string());
+  }
+  if (cfg_.frontend_delay < 0 || cfg_.profiler_delay < 0 ||
+      cfg_.sched_decision_delay < 0 || cfg_.pool_op_delay < 0 ||
+      cfg_.oom_restart_penalty < 0)
+    throw std::invalid_argument("Engine: negative pipeline delay configured");
+  if (cfg_.monitor_interval <= 0 || cfg_.health_ping_interval <= 0)
+    throw std::invalid_argument(
+        "Engine: monitor_interval and health_ping_interval must be positive");
+  if (cfg_.retry_backoff_base < 0 || cfg_.retry_backoff_cap < 0 ||
+      cfg_.max_fault_retries < 0 || cfg_.placement_timeout <= 0 ||
+      cfg_.suspect_after_missed_pings <= 0 || cfg_.churn_horizon_pad < 0)
+    throw std::invalid_argument("Engine: invalid fault-recovery knobs");
+  cfg_.fault_plan.validate(cfg_.node_capacities.size());
+  cfg_.fault_profile.validate();
   nodes_.reserve(cfg_.node_capacities.size());
   for (size_t i = 0; i < cfg_.node_capacities.size(); ++i) {
     nodes_.emplace_back(static_cast<NodeId>(i), cfg_.node_capacities[i],
@@ -42,10 +66,22 @@ bool Engine::invocation_alive(InvocationId id) const {
 
 RunMetrics Engine::run(std::vector<Invocation> trace) {
   if (trace.empty()) return std::move(metrics_);
+  for (size_t i = 1; i < trace.size(); ++i) {
+    if (trace[i].arrival < trace[i - 1].arrival)
+      throw std::invalid_argument(
+          "Engine: trace not sorted by arrival time (index " +
+          std::to_string(i) + " arrives at " +
+          std::to_string(trace[i].arrival) + " after " +
+          std::to_string(trace[i - 1].arrival) + ")");
+    if (trace[i].arrival < 0.0)
+      throw std::invalid_argument("Engine: negative arrival time in trace");
+  }
   total_ = trace.size();
   metrics_.first_arrival = std::numeric_limits<double>::infinity();
+  SimTime last_arrival = 0.0;
   for (auto& inv : trace) {
     metrics_.first_arrival = std::min(metrics_.first_arrival, inv.arrival);
+    last_arrival = std::max(last_arrival, inv.arrival);
     const InvocationId id = inv.id;
     const SimTime at = inv.arrival;
     auto [it, inserted] = invocations_.emplace(id, std::move(inv));
@@ -53,12 +89,28 @@ RunMetrics Engine::run(std::vector<Invocation> trace) {
     (void)it;
     queue_.schedule(at, [this, id] { on_arrival(id); });
   }
+  // Fault injection: materialize the churn timeline (scripted outages plus
+  // the sampled crash process) and schedule it like any other event.
+  fault_ = std::make_unique<fault::FaultInjector>(
+      cfg_.fault_plan, cfg_.fault_profile, nodes_.size(),
+      last_arrival + cfg_.churn_horizon_pad);
+  down_since_.assign(nodes_.size(), 0.0);
+  last_ping_delivered_.assign(nodes_.size(), metrics_.first_arrival);
+  for (const auto& ev : fault_->churn()) {
+    const NodeId nid = ev.node;
+    if (ev.down)
+      queue_.schedule(ev.time, [this, nid] { on_node_down(nid); });
+    else
+      queue_.schedule(ev.time, [this, nid] { on_node_up(nid); });
+  }
   // Health pings per node, staggered to avoid synchronized bursts.
   for (const auto& node : nodes_) {
     const NodeId nid = node.id();
     const double offset = cfg_.health_ping_interval *
                           (static_cast<double>(nid) /
                            static_cast<double>(nodes_.size()));
+    last_ping_delivered_[static_cast<size_t>(nid)] =
+        metrics_.first_arrival + offset;
     queue_.schedule(metrics_.first_arrival + offset,
                     [this, nid] { health_ping(nid); });
   }
@@ -71,10 +123,13 @@ RunMetrics Engine::run(std::vector<Invocation> trace) {
   }
   metrics_.incomplete = 0;
   for (const auto& rec : metrics_.invocations)
-    if (!rec.completed) ++metrics_.incomplete;
+    if (!rec.completed && !rec.lost) ++metrics_.incomplete;
   if (metrics_.incomplete > 0)
     LIBRA_WARN() << metrics_.incomplete
                  << " invocations never completed (capacity starvation?)";
+  if (metrics_.lost_invocations > 0)
+    LIBRA_WARN() << metrics_.lost_invocations
+                 << " invocations lost to fault injection";
   long cold = 0, warm = 0;
   for (const auto& node : nodes_) {
     cold += node.containers().total_cold_starts();
@@ -140,6 +195,7 @@ void Engine::process_shard(ShardId shard) {
 
 void Engine::try_place(InvocationId id) {
   Invocation& inv = invocation(id);
+  if (inv.done) return;
   NodeId chosen = kNoNode;
   if (cfg_.measure_real_sched_overhead) {
     const auto t0 = std::chrono::steady_clock::now();
@@ -149,6 +205,12 @@ void Engine::try_place(InvocationId id) {
         std::chrono::duration<double>(t1 - t0).count());
   } else {
     chosen = policy_->select_node(inv, *this);
+  }
+  if (chosen != kNoNode && !node(chosen).up()) {
+    // The scheduler worked from a stale health view / pool snapshot and
+    // picked a dead node; the dispatch times out controller-side.
+    ++metrics_.stale_snapshot_decisions;
+    chosen = kNoNode;
   }
   if (chosen == kNoNode ||
       !node(chosen).try_reserve(inv.shard, inv.user_alloc)) {
@@ -160,18 +222,32 @@ void Engine::try_place(InvocationId id) {
   inv.t_sched_done = now();
   record_series();
 
+  // Container acquisition happens before the pool transaction so a failed
+  // cold start can unwind without having touched the harvest pools.
+  const auto acq = node(chosen).containers().acquire(inv.func, now());
+  inv.cold_start = acq.cold;
+  if (acq.cold && fault_active() && fault_->fail_cold_start(chosen, now())) {
+    ++metrics_.cold_start_failures;
+    node(chosen).release(inv.shard, inv.user_alloc);
+    inv.node = kNoNode;
+    record_series();
+    // The failure only surfaces after the attempted creation time.
+    retry_or_lose(inv, acq.delay);
+    return;
+  }
+
   const AllocationPlan plan = policy_->plan_allocation(inv, *this);
   inv.effective = plan.effective;
   inv.t_pool_done = now() + cfg_.pool_op_delay;
 
-  const auto acq = node(chosen).containers().acquire(inv.func, now());
-  inv.cold_start = acq.cold;
+  const uint64_t epoch = ++inv.placement_epoch;
   queue_.schedule(inv.t_pool_done + acq.delay,
-                  [this, id] { begin_execution(id); });
+                  [this, id, epoch] { begin_execution(id, epoch); });
 }
 
-void Engine::begin_execution(InvocationId id) {
+void Engine::begin_execution(InvocationId id, uint64_t epoch) {
   Invocation& inv = invocation(id);
+  if (inv.done || epoch != inv.placement_epoch) return;
   inv.running = true;
   inv.t_exec_start = now();
   inv.max_effective = Resources::max(inv.max_effective, inv.effective);
@@ -293,7 +369,12 @@ void Engine::monitor_tick(InvocationId id) {
   Invocation& inv = it->second;
   inv.monitor_event = kInvalidEvent;
   if (inv.done || !inv.running) return;
-  policy_->on_monitor(inv, *this);
+  if (fault_active() && fault_->suppress_monitor_tick(inv.node, now())) {
+    // The monitor agent missed this window; the safeguard fires a tick late.
+    ++metrics_.suppressed_monitor_ticks;
+  } else {
+    policy_->on_monitor(inv, *this);
+  }
   if (!inv.done && policy_->wants_monitor(inv)) {
     inv.monitor_event = queue_.schedule_after(
         cfg_.monitor_interval, [this, id] { monitor_tick(id); });
@@ -363,11 +444,158 @@ void Engine::retry_waiting() {
 }
 
 void Engine::health_ping(NodeId node_id) {
-  policy_->on_health_ping(node_id, *this);
+  if (!node(node_id).up()) {
+    // A dead node sends nothing; the controller's view goes stale until the
+    // node recovers and its next ping is delivered.
+  } else if (fault_active() && fault_->drop_health_ping(node_id, now())) {
+    ++metrics_.dropped_health_pings;
+  } else {
+    const double delay =
+        fault_active() ? fault_->health_ping_delay(node_id, now()) : 0.0;
+    if (delay > 0.0) {
+      ++metrics_.delayed_health_pings;
+      queue_.schedule_after(delay, [this, node_id] {
+        if (!node(node_id).up()) return;  // died while the ping was in flight
+        last_ping_delivered_[static_cast<size_t>(node_id)] = now();
+        policy_->on_health_ping(node_id, *this);
+      });
+    } else {
+      last_ping_delivered_[static_cast<size_t>(node_id)] = now();
+      policy_->on_health_ping(node_id, *this);
+    }
+  }
+  if (fault_active()) {
+    // Parked invocations are normally retried when a completion frees
+    // capacity; under churn that signal can never come (everything on the
+    // node died), so the ping loop doubles as a recovery sweep.
+    expire_overdue_waiting();
+    retry_waiting();
+  }
   if (completed_ < total_) {
     queue_.schedule_after(cfg_.health_ping_interval,
                           [this, node_id] { health_ping(node_id); });
   }
+}
+
+bool Engine::node_suspected_down(NodeId id) const {
+  if (!fault_ || !fault_->active()) return false;
+  const auto idx = static_cast<size_t>(id);
+  if (idx >= last_ping_delivered_.size()) return false;
+  return queue_.now() - last_ping_delivered_[idx] >
+         cfg_.suspect_after_missed_pings * cfg_.health_ping_interval;
+}
+
+void Engine::on_node_down(NodeId node_id) {
+  Node& n = node(node_id);
+  if (!n.up()) return;  // churn timeline is coalesced, but stay idempotent
+  ++metrics_.node_crashes;
+  down_since_[static_cast<size_t>(node_id)] = now();
+  // Policy first (harvest-safety invariant): it must preemptively release
+  // every pool entry and revoke every grant tied to this node while the
+  // invocation state is still intact.
+  policy_->on_node_down(node_id, *this);
+  n.set_up(false);
+  std::vector<InvocationId> victims;
+  for (const auto& [id, inv] : invocations_)
+    if (!inv.done && inv.node == node_id) victims.push_back(id);
+  std::sort(victims.begin(), victims.end());  // map order is not deterministic
+  for (InvocationId id : victims) kill_invocation(id);
+  n.containers().clear();
+  n.check_quiescent();
+  record_series();
+}
+
+void Engine::on_node_up(NodeId node_id) {
+  Node& n = node(node_id);
+  if (n.up()) return;
+  n.set_up(true);
+  ++metrics_.node_recoveries;
+  metrics_.recovery_latencies.push_back(
+      now() - down_since_[static_cast<size_t>(node_id)]);
+  // The node rejoins empty. The controller only learns it is back when the
+  // next health ping is delivered — last_ping_delivered_ is left stale on
+  // purpose, so schedulers keep avoiding it for up to one ping interval.
+  policy_->on_node_up(node_id, *this);
+  retry_waiting();
+}
+
+void Engine::kill_invocation(InvocationId id) {
+  Invocation& inv = invocation(id);
+  if (inv.done || inv.node == kNoNode) return;
+  fold_progress(inv);
+  ++inv.completion_generation;  // invalidates completion / OOM events
+  ++inv.placement_epoch;        // invalidates a pending container start
+  if (inv.completion_event != kInvalidEvent) {
+    queue_.cancel(inv.completion_event);
+    inv.completion_event = kInvalidEvent;
+  }
+  if (inv.monitor_event != kInvalidEvent) {
+    queue_.cancel(inv.monitor_event);
+    inv.monitor_event = kInvalidEvent;
+  }
+  refresh_usage(inv, false, /*stopping=*/true);
+  Node& n = node(inv.node);
+  if (inv.running) n.invocation_finished();
+  n.release(inv.shard, inv.user_alloc + inv.probe_extra);
+  // Whatever was harvested from / lent to it died with the node; the policy
+  // already reconciled its pool state in on_node_down.
+  inv.running = false;
+  inv.node = kNoNode;
+  inv.progress = 0.0;
+  inv.cold_start = false;
+  inv.harvested_out = Resources{};
+  inv.borrowed_in = Resources{};
+  inv.probe_extra = Resources{};
+  inv.effective = inv.user_alloc;
+  record_series();
+  retry_or_lose(inv, 0.0);
+}
+
+void Engine::retry_or_lose(Invocation& inv, double extra_delay) {
+  if (inv.fault_retries >= cfg_.max_fault_retries) {
+    lose_invocation(inv);
+    return;
+  }
+  const double backoff =
+      std::min(cfg_.retry_backoff_cap,
+               cfg_.retry_backoff_base * std::pow(2.0, inv.fault_retries));
+  ++inv.fault_retries;
+  ++metrics_.fault_retries;
+  const InvocationId id = inv.id;
+  queue_.schedule_after(extra_delay + backoff,
+                        [this, id] { requeue_after_fault(id); });
+}
+
+void Engine::requeue_after_fault(InvocationId id) {
+  Invocation& inv = invocation(id);
+  if (inv.done) return;
+  inv.t_sched_enqueue = now();  // placement timeout restarts per attempt
+  shard_queues_[static_cast<size_t>(inv.shard)].push_back(id);
+  pump_shard(inv.shard);
+}
+
+void Engine::lose_invocation(Invocation& inv) {
+  if (inv.done) return;
+  inv.done = true;
+  inv.running = false;
+  inv.lost = true;
+  ++metrics_.lost_invocations;
+  ++completed_;  // terminal: the run must be able to finish without it
+  finalize_record(inv);
+}
+
+void Engine::expire_overdue_waiting() {
+  if (waiting_.empty()) return;
+  std::deque<InvocationId> keep;
+  for (InvocationId id : waiting_) {
+    Invocation& inv = invocation(id);
+    if (inv.done) continue;
+    if (now() - inv.t_sched_enqueue > cfg_.placement_timeout)
+      lose_invocation(inv);
+    else
+      keep.push_back(id);
+  }
+  waiting_.swap(keep);
 }
 
 void Engine::refresh_usage(const Invocation& inv, bool starting,
@@ -410,6 +638,8 @@ void Engine::finalize_record(Invocation& inv) {
   rec.exec_start = inv.t_exec_start;
   rec.finish = inv.t_finish;
   rec.completed = inv.t_finish >= 0.0;
+  rec.lost = inv.lost;
+  rec.fault_retries = inv.fault_retries;
   rec.outcome = inv.outcome();
   rec.cold_start = inv.cold_start;
   rec.oom_count = inv.oom_count;

@@ -19,6 +19,7 @@
 
 #include "sim/event_queue.h"
 #include "sim/execution_model.h"
+#include "sim/fault/fault_injector.h"
 #include "sim/invocation.h"
 #include "sim/metrics.h"
 #include "sim/node.h"
@@ -42,6 +43,24 @@ struct EngineConfig {
   double oom_restart_penalty = 1.0;      // container kill + restart cost
   /// When true, times Policy::select_node with a real clock (Fig. 12c).
   bool measure_real_sched_overhead = false;
+
+  // ---- Fault injection & recovery (src/sim/fault) ----
+  fault::FaultPlan fault_plan;        // scripted faults, replayed verbatim
+  fault::FaultProfile fault_profile;  // seeded probabilistic faults
+  /// Capped exponential backoff before re-dispatching an invocation killed
+  /// by a node crash or a failed cold start: base * 2^attempt, <= cap.
+  double retry_backoff_base = 0.1;
+  double retry_backoff_cap = 5.0;
+  /// Crash / cold-start-failure retries before an invocation is lost.
+  int max_fault_retries = 3;
+  /// Parked invocations unplaceable for this long are declared lost.
+  /// Only enforced while fault injection is active (failure-free runs keep
+  /// the park-until-capacity-frees semantics).
+  double placement_timeout = 600.0;
+  /// The controller suspects a node after this many silent ping intervals.
+  double suspect_after_missed_pings = 3.0;
+  /// Sampled churn extends this far past the last trace arrival.
+  double churn_horizon_pad = 120.0;
 };
 
 class Engine final : public EngineApi {
@@ -63,6 +82,7 @@ class Engine final : public EngineApi {
   void sync_accounting(InvocationId id) override;
   Resources observed_usage(InvocationId id) const override;
   Resources observed_peak(InvocationId id) const override;
+  bool node_suspected_down(NodeId id) const override;
 
  private:
   void on_arrival(InvocationId id);
@@ -70,13 +90,28 @@ class Engine final : public EngineApi {
   void pump_shard(ShardId shard);
   void process_shard(ShardId shard);
   void try_place(InvocationId id);
-  void begin_execution(InvocationId id);
+  void begin_execution(InvocationId id, uint64_t epoch);
   void schedule_progress_events(Invocation& inv);
   void handle_completion(InvocationId id, uint64_t generation);
   void handle_oom(InvocationId id, uint64_t generation);
   void monitor_tick(InvocationId id);
   void health_ping(NodeId node_id);
   void retry_waiting();
+  // ---- Fault handling ----
+  void on_node_down(NodeId node_id);
+  void on_node_up(NodeId node_id);
+  /// Tears down one invocation on a crashing node and retries or loses it.
+  void kill_invocation(InvocationId id);
+  /// Backoff expired: hand the invocation back to its shard queue.
+  void requeue_after_fault(InvocationId id);
+  /// Terminal loss: the invocation will never complete.
+  void lose_invocation(Invocation& inv);
+  /// Schedules the post-kill retry, or loses the invocation when the retry
+  /// budget is exhausted. `extra_delay` is added on top of the backoff.
+  void retry_or_lose(Invocation& inv, double extra_delay);
+  /// Declares parked invocations lost once they exceed placement_timeout.
+  void expire_overdue_waiting();
+  bool fault_active() const { return fault_ && fault_->active(); }
   void fold_progress(Invocation& inv);
   void refresh_usage(const Invocation& inv, bool starting, bool stopping);
   void record_series();
@@ -88,6 +123,10 @@ class Engine final : public EngineApi {
   EventQueue queue_;
   std::vector<Node> nodes_;
   std::unordered_map<InvocationId, Invocation> invocations_;
+
+  std::unique_ptr<fault::FaultInjector> fault_;  // built in run()
+  std::vector<SimTime> last_ping_delivered_;     // controller health view
+  std::vector<SimTime> down_since_;              // crash time per down node
 
   std::vector<std::deque<InvocationId>> shard_queues_;
   std::vector<SimTime> shard_busy_until_;

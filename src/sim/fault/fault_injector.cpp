@@ -1,0 +1,158 @@
+#include "sim/fault/fault_injector.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace libra::sim::fault {
+
+namespace {
+
+void check_window(const FaultWindow& w, size_t num_nodes, const char* what) {
+  if (w.node != kAllNodes &&
+      (w.node < 0 || static_cast<size_t>(w.node) >= num_nodes))
+    throw std::invalid_argument(std::string("FaultPlan: ") + what +
+                                " targets unknown node " +
+                                std::to_string(w.node));
+  if (w.from < 0.0)
+    throw std::invalid_argument(std::string("FaultPlan: ") + what +
+                                " starts before t=0");
+  if (w.until <= w.from)
+    throw std::invalid_argument(std::string("FaultPlan: ") + what +
+                                " window is empty or inverted (from=" +
+                                std::to_string(w.from) + ")");
+}
+
+void check_probability(double p, const char* what) {
+  if (p < 0.0 || p > 1.0)
+    throw std::invalid_argument(std::string("FaultProfile: ") + what + " = " +
+                                std::to_string(p) + " outside [0, 1]");
+}
+
+}  // namespace
+
+void FaultPlan::validate(size_t num_nodes) const {
+  for (const auto& o : outages) {
+    if (o.node < 0 || static_cast<size_t>(o.node) >= num_nodes)
+      throw std::invalid_argument("FaultPlan: outage targets unknown node " +
+                                  std::to_string(o.node));
+    if (o.down_at < 0.0)
+      throw std::invalid_argument("FaultPlan: outage crashes before t=0");
+    if (o.up_at <= o.down_at)
+      throw std::invalid_argument(
+          "FaultPlan: outage recovers at or before its crash (node " +
+          std::to_string(o.node) + ")");
+  }
+  for (const auto& w : ping_blackouts) check_window(w, num_nodes, "ping blackout");
+  for (const auto& w : cold_start_failures)
+    check_window(w, num_nodes, "cold-start failure");
+  for (const auto& w : monitor_blackouts)
+    check_window(w, num_nodes, "monitor blackout");
+}
+
+void FaultProfile::validate() const {
+  check_probability(ping_drop_prob, "ping_drop_prob");
+  check_probability(ping_delay_prob, "ping_delay_prob");
+  check_probability(cold_start_fail_prob, "cold_start_fail_prob");
+  check_probability(monitor_skip_prob, "monitor_skip_prob");
+  if (node_mtbf < 0.0)
+    throw std::invalid_argument("FaultProfile: negative node_mtbf");
+  if (node_mtbf > 0.0 && node_mttr <= 0.0)
+    throw std::invalid_argument(
+        "FaultProfile: node_mttr must be positive when churn is enabled");
+  if (ping_delay_prob > 0.0 && ping_delay_mean <= 0.0)
+    throw std::invalid_argument(
+        "FaultProfile: ping_delay_mean must be positive when delays are "
+        "enabled");
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, FaultProfile profile,
+                             size_t num_nodes, SimTime horizon)
+    : plan_(std::move(plan)),
+      profile_(profile),
+      monitor_rng_(util::Rng(profile.seed).fork(0x30000)) {
+  active_ = !plan_.empty() || profile_.active();
+  const util::Rng base(profile_.seed);
+  ping_rng_.reserve(num_nodes);
+  cold_rng_.reserve(num_nodes);
+  for (size_t i = 0; i < num_nodes; ++i) {
+    ping_rng_.push_back(base.fork(0x10000 + i));
+    cold_rng_.push_back(base.fork(0x20000 + i));
+  }
+  build_churn(num_nodes, horizon);
+}
+
+void FaultInjector::build_churn(size_t num_nodes, SimTime horizon) {
+  const util::Rng base(profile_.seed);
+  for (size_t n = 0; n < num_nodes; ++n) {
+    // Collect this node's down intervals: scripted outages plus the sampled
+    // alternating crash/repair renewal process.
+    std::vector<std::pair<SimTime, SimTime>> intervals;
+    for (const auto& o : plan_.outages)
+      if (static_cast<size_t>(o.node) == n)
+        intervals.emplace_back(o.down_at, o.up_at);
+    if (profile_.node_mtbf > 0.0) {
+      util::Rng rng = base.fork(0x40000 + n);
+      SimTime t = rng.exponential(1.0 / profile_.node_mtbf);
+      while (t < horizon) {
+        const SimTime up = t + rng.exponential(1.0 / profile_.node_mttr);
+        intervals.emplace_back(t, up);
+        t = up + rng.exponential(1.0 / profile_.node_mtbf);
+      }
+    }
+    if (intervals.empty()) continue;
+    // Merge overlaps so crashes strictly alternate with recoveries.
+    std::sort(intervals.begin(), intervals.end());
+    std::vector<std::pair<SimTime, SimTime>> merged;
+    for (const auto& iv : intervals) {
+      if (!merged.empty() && iv.first <= merged.back().second)
+        merged.back().second = std::max(merged.back().second, iv.second);
+      else
+        merged.push_back(iv);
+    }
+    for (const auto& [down, up] : merged) {
+      churn_.push_back({down, static_cast<NodeId>(n), /*down=*/true});
+      if (up < kNever)
+        churn_.push_back({up, static_cast<NodeId>(n), /*down=*/false});
+    }
+  }
+  std::sort(churn_.begin(), churn_.end(),
+            [](const ChurnEvent& a, const ChurnEvent& b) {
+              if (a.time != b.time) return a.time < b.time;
+              if (a.node != b.node) return a.node < b.node;
+              return a.down < b.down;  // recover before crash at exact ties
+            });
+}
+
+bool FaultInjector::drop_health_ping(NodeId node, SimTime now) {
+  for (const auto& w : plan_.ping_blackouts)
+    if (w.covers(node, now)) return true;
+  if (profile_.ping_drop_prob <= 0.0) return false;
+  return ping_rng_[static_cast<size_t>(node)].bernoulli(
+      profile_.ping_drop_prob);
+}
+
+double FaultInjector::health_ping_delay(NodeId node, SimTime now) {
+  (void)now;
+  if (profile_.ping_delay_prob <= 0.0) return 0.0;
+  auto& rng = ping_rng_[static_cast<size_t>(node)];
+  if (!rng.bernoulli(profile_.ping_delay_prob)) return 0.0;
+  return rng.exponential(1.0 / profile_.ping_delay_mean);
+}
+
+bool FaultInjector::fail_cold_start(NodeId node, SimTime now) {
+  for (const auto& w : plan_.cold_start_failures)
+    if (w.covers(node, now)) return true;
+  if (profile_.cold_start_fail_prob <= 0.0) return false;
+  return cold_rng_[static_cast<size_t>(node)].bernoulli(
+      profile_.cold_start_fail_prob);
+}
+
+bool FaultInjector::suppress_monitor_tick(NodeId node, SimTime now) {
+  for (const auto& w : plan_.monitor_blackouts)
+    if (w.covers(node, now)) return true;
+  if (profile_.monitor_skip_prob <= 0.0) return false;
+  return monitor_rng_.bernoulli(profile_.monitor_skip_prob);
+}
+
+}  // namespace libra::sim::fault

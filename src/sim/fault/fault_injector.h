@@ -1,0 +1,90 @@
+// Deterministic, seedable fault injection. The injector merges the scripted
+// FaultPlan with a sampled crash/recovery process (exponential inter-failure
+// and repair times per node) into one time-ordered churn timeline, and
+// answers per-event queries (drop this ping? fail this cold start?) from
+// per-node random sub-streams. Because the discrete-event engine consumes
+// events in a deterministic order, every query sequence — and therefore the
+// whole run — is a pure function of (trace, config, plan, seed).
+#pragma once
+
+#include <vector>
+
+#include "sim/fault/fault_plan.h"
+#include "util/rng.h"
+
+namespace libra::sim::fault {
+
+/// Probabilistic fault process knobs. All zeros (the default) means the
+/// profile injects nothing; `seed` then has no effect on the run.
+struct FaultProfile {
+  uint64_t seed = 0x5eedfa17ULL;
+  /// Mean time between crashes per node, seconds (0 = no sampled churn).
+  double node_mtbf = 0.0;
+  /// Mean time to recovery after a sampled crash, seconds.
+  double node_mttr = 30.0;
+  /// Probability that one health ping is dropped.
+  double ping_drop_prob = 0.0;
+  /// Probability that one health ping is delayed (instead of dropped).
+  double ping_delay_prob = 0.0;
+  /// Mean extra delivery delay of a delayed ping, seconds (exponential).
+  double ping_delay_mean = 0.5;
+  /// Probability that one container cold start fails.
+  double cold_start_fail_prob = 0.0;
+  /// Probability that one safeguard monitor tick is lost.
+  double monitor_skip_prob = 0.0;
+
+  bool active() const {
+    return node_mtbf > 0.0 || ping_drop_prob > 0.0 || ping_delay_prob > 0.0 ||
+           cold_start_fail_prob > 0.0 || monitor_skip_prob > 0.0;
+  }
+
+  /// Throws std::invalid_argument on probabilities outside [0, 1] or
+  /// negative times.
+  void validate() const;
+};
+
+/// One materialized churn edge. Per node, crashes strictly alternate with
+/// recoveries (overlapping scripted + sampled outages are merged).
+struct ChurnEvent {
+  SimTime time = 0.0;
+  NodeId node = 0;
+  bool down = false;  // true = crash, false = recovery
+};
+
+class FaultInjector {
+ public:
+  /// `horizon` bounds the sampled crash process; scripted outages may exceed
+  /// it. Both plan and profile are expected to be pre-validated.
+  FaultInjector(FaultPlan plan, FaultProfile profile, size_t num_nodes,
+                SimTime horizon);
+
+  /// Time-ordered node churn timeline for the engine to schedule.
+  const std::vector<ChurnEvent>& churn() const { return churn_; }
+
+  /// True when the injector can perturb the run at all; the engine skips the
+  /// fault paths entirely otherwise, preserving failure-free behaviour.
+  bool active() const { return active_; }
+
+  // Per-event queries. Each consumes at most one draw from a dedicated
+  // per-node stream; scripted windows short-circuit without consuming any.
+  bool drop_health_ping(NodeId node, SimTime now);
+  /// Extra delivery delay for this ping, 0 when delivered on time. Only
+  /// meaningful for pings that were not dropped.
+  double health_ping_delay(NodeId node, SimTime now);
+  bool fail_cold_start(NodeId node, SimTime now);
+  /// `node` is the node hosting the monitored invocation.
+  bool suppress_monitor_tick(NodeId node, SimTime now);
+
+ private:
+  void build_churn(size_t num_nodes, SimTime horizon);
+
+  FaultPlan plan_;
+  FaultProfile profile_;
+  bool active_ = false;
+  std::vector<ChurnEvent> churn_;
+  std::vector<util::Rng> ping_rng_;
+  std::vector<util::Rng> cold_rng_;
+  util::Rng monitor_rng_;
+};
+
+}  // namespace libra::sim::fault

@@ -1,0 +1,64 @@
+// Scripted fault plans for the fault-injection subsystem. A FaultPlan is a
+// declarative script of failures that the engine replays deterministically:
+// node outages (crash + recovery pairs), health-ping blackout windows,
+// cold-start failure windows, and safeguard-monitor blackout windows.
+// Combined with the seeded probabilistic FaultProfile (fault_injector.h),
+// the same (trace, config, plan, seed) always reproduces a bit-identical
+// run — the reproducibility contract every resilience experiment relies on.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace libra::sim::fault {
+
+/// Window/outage target meaning "every node in the cluster".
+inline constexpr NodeId kAllNodes = -1;
+
+/// Recovery/expiry timestamp meaning "never".
+inline constexpr SimTime kNever = std::numeric_limits<double>::infinity();
+
+/// One scripted node outage: the node crashes at `down_at` (every invocation
+/// placed on it is killed, its warm containers and harvest pool die with it)
+/// and comes back empty at `up_at` (kNever = stays dead for the whole run).
+struct NodeOutage {
+  NodeId node = 0;
+  SimTime down_at = 0.0;
+  SimTime up_at = kNever;
+};
+
+/// Half-open time window [from, until) during which a fault class applies.
+/// `node == kAllNodes` targets the whole cluster.
+struct FaultWindow {
+  NodeId node = kAllNodes;
+  SimTime from = 0.0;
+  SimTime until = kNever;
+
+  bool covers(NodeId n, SimTime t) const {
+    return (node == kAllNodes || node == n) && t >= from && t < until;
+  }
+};
+
+struct FaultPlan {
+  std::vector<NodeOutage> outages;
+  /// Health pings silently dropped: schedulers keep working from whatever
+  /// (now stale) PoolStatus snapshot the last delivered ping carried.
+  std::vector<FaultWindow> ping_blackouts;
+  /// Container creation fails; the invocation is re-dispatched with backoff.
+  std::vector<FaultWindow> cold_start_failures;
+  /// Safeguard monitor ticks are lost (the safeguard daemon goes blind).
+  std::vector<FaultWindow> monitor_blackouts;
+
+  bool empty() const {
+    return outages.empty() && ping_blackouts.empty() &&
+           cold_start_failures.empty() && monitor_blackouts.empty();
+  }
+
+  /// Throws std::invalid_argument (with the offending entry) on nodes outside
+  /// [0, num_nodes), negative timestamps, or inverted outage/window bounds.
+  void validate(size_t num_nodes) const;
+};
+
+}  // namespace libra::sim::fault

@@ -83,6 +83,16 @@ struct Invocation {
   int oom_count = 0;
   int retry_count = 0;
 
+  // ---- Fault/resilience state (src/sim/fault) ----
+  /// Terminal loss: killed by node churn with the retry budget exhausted, or
+  /// parked past the placement timeout. Mutually exclusive with completion.
+  bool lost = false;
+  /// Crash / cold-start-failure kills that were re-dispatched with backoff.
+  int fault_retries = 0;
+  /// Placement attempt counter; container-start events from an older
+  /// placement are invalidated when it advances (node died in between).
+  uint64_t placement_epoch = 0;
+
   /// End-to-end response latency (valid after completion).
   double response_latency() const { return t_finish - arrival; }
 

@@ -50,6 +50,29 @@ double RunMetrics::p99_latency() const {
   return util::percentile(std::move(lat), 99.0);
 }
 
+double RunMetrics::goodput() const {
+  if (invocations.empty()) return 1.0;
+  size_t n = 0;
+  for (const auto& r : invocations)
+    if (r.completed) ++n;
+  return static_cast<double>(n) / static_cast<double>(invocations.size());
+}
+
+double RunMetrics::lost_fraction() const {
+  if (invocations.empty()) return 0.0;
+  size_t n = 0;
+  for (const auto& r : invocations)
+    if (r.lost) ++n;
+  return static_cast<double>(n) / static_cast<double>(invocations.size());
+}
+
+double RunMetrics::mean_recovery_latency() const {
+  if (recovery_latencies.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : recovery_latencies) sum += v;
+  return sum / static_cast<double>(recovery_latencies.size());
+}
+
 double RunMetrics::safeguarded_fraction() const {
   if (invocations.empty()) return 0.0;
   size_t n = 0;

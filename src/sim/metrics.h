@@ -28,6 +28,11 @@ struct InvocationRecord {
   bool cold_start = false;
   int oom_count = 0;
   bool completed = false;
+  /// Declared lost by the resilience machinery (node churn killed it past
+  /// the retry budget, or it timed out unplaced). Never true for completed.
+  bool lost = false;
+  /// Crash / cold-start-failure kills that were re-dispatched with backoff.
+  int fault_retries = 0;
   Resources user_alloc;
   Resources pred_demand;
   Resources true_demand;
@@ -60,7 +65,22 @@ struct RunMetrics {
   long cold_starts = 0;
   long warm_starts = 0;
   long oom_events = 0;
-  long incomplete = 0;  // invocations never placed (should be 0)
+  long incomplete = 0;  // never placed and not lost (should be 0)
+
+  // ---- Resilience counters (src/sim/fault) ----
+  long node_crashes = 0;
+  long node_recoveries = 0;
+  long fault_retries = 0;       // crash/cold-start kills that were retried
+  long lost_invocations = 0;    // terminal losses (retry budget / timeout)
+  long cold_start_failures = 0;
+  long dropped_health_pings = 0;
+  long delayed_health_pings = 0;
+  long suppressed_monitor_ticks = 0;
+  /// Scheduling decisions that picked a node which was actually down — the
+  /// controller's ping-based health view had not caught up yet.
+  long stale_snapshot_decisions = 0;
+  /// Per recovery: how long the node was down (crash-to-recovery), seconds.
+  std::vector<double> recovery_latencies;
 
   /// Real (wall-clock) per-decision scheduling overhead samples, seconds.
   std::vector<double> sched_overhead_seconds;
@@ -80,6 +100,11 @@ struct RunMetrics {
   double p99_latency() const;
   /// Fraction of invocations whose safeguard fired.
   double safeguarded_fraction() const;
+  /// Goodput under churn: fraction of invocations that actually completed
+  /// (1.0 for an empty run — nothing was lost).
+  double goodput() const;
+  double lost_fraction() const;
+  double mean_recovery_latency() const;
 };
 
 }  // namespace libra::sim

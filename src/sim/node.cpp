@@ -1,5 +1,6 @@
 #include "sim/node.h"
 
+#include <cassert>
 #include <stdexcept>
 
 namespace libra::sim {
@@ -24,6 +25,7 @@ Resources Node::shard_free(ShardId shard) const {
 bool Node::try_reserve(ShardId shard, const Resources& r) {
   if (r.cpu < 0 || r.mem < 0)
     throw std::invalid_argument("Node: negative reservation");
+  if (!up_) return false;
   auto& used = shard_allocated_.at(static_cast<size_t>(shard));
   if (!(used + r).fits_in(shard_capacity())) return false;
   used += r;
@@ -39,6 +41,24 @@ void Node::release(ShardId shard, const Resources& r) {
     throw std::logic_error("Node: released more than was reserved");
   used = used.clamped_non_negative();
   allocated_total_ = allocated_total_.clamped_non_negative();
+}
+
+void Node::invocation_finished() {
+  if (running_ <= 0)
+    throw std::logic_error(
+        "Node: invocation_finished with none running (accounting underflow)");
+  --running_;
+}
+
+void Node::check_quiescent() const {
+#ifndef NDEBUG
+  assert(running_ == 0 && "Node: invocations survived the crash reap");
+  assert(allocated_total_.cpu < 1e-6 && allocated_total_.mem < 1e-3 &&
+         "Node: reservations survived the crash reap");
+  for (const auto& s : shard_allocated_)
+    assert(s.cpu < 1e-6 && s.mem < 1e-3 &&
+           "Node: shard reserve/release asymmetry");
+#endif
 }
 
 }  // namespace libra::sim

@@ -43,7 +43,20 @@ class Node {
 
   int running_invocations() const { return running_; }
   void invocation_started() { ++running_; }
-  void invocation_finished() { --running_; }
+  /// Guarded against underflow: finishing with nothing running means the
+  /// engine double-released an invocation.
+  void invocation_finished();
+
+  /// Liveness under fault injection. A down node accepts no reservations;
+  /// the engine kills its invocations and clears its warm containers when it
+  /// crashes, and brings it back empty on recovery.
+  bool up() const { return up_; }
+  void set_up(bool up) { up_ = up; }
+
+  /// Debug-build assertion of reservation/release symmetry: after the engine
+  /// reaps a crashed node, nothing may remain reserved or running. No-op in
+  /// release builds.
+  void check_quiescent() const;
 
   ContainerPool& containers() { return containers_; }
   const ContainerPool& containers() const { return containers_; }
@@ -57,6 +70,7 @@ class Node {
   std::vector<Resources> shard_allocated_;
   Resources allocated_total_;
   int running_ = 0;
+  bool up_ = true;
   ContainerPool containers_;
 };
 

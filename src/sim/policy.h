@@ -47,6 +47,17 @@ class EngineApi {
   /// platform "collects after execution completes" (Fig. 3 step 5) to update
   /// profiling models. Capped by the largest allocation the container had.
   virtual Resources observed_peak(InvocationId id) const = 0;
+
+  /// Controller-side health view (§6.4): true when the node has missed
+  /// enough consecutive health pings that the controller suspects it is
+  /// down. Deliberately stale — it lags a real crash by up to
+  /// EngineConfig::suspect_after_missed_pings ping intervals, and dropped
+  /// pings can make a healthy node look dead. Schedulers must use this, not
+  /// ground truth.
+  virtual bool node_suspected_down(NodeId node) const {
+    (void)node;
+    return false;
+  }
 };
 
 /// Aggregate counters a policy reports at the end of a run (consumed by the
@@ -120,7 +131,26 @@ class Policy {
 
   /// Node health ping (§6.4): policies refresh piggybacked pool-status
   /// snapshots here so schedulers work from realistic, slightly stale data.
+  /// Not called while the node is down or when fault injection drops the
+  /// ping — the snapshot then goes stale, which is the point.
   virtual void on_health_ping(NodeId node, EngineApi& api) {
+    (void)node;
+    (void)api;
+  }
+
+  /// Node crashed (fault injection). Called BEFORE the engine reaps the
+  /// node's invocations, so policies owning per-node state can uphold the
+  /// harvest-safety invariant under churn: preemptively release every pool
+  /// entry and revoke every outstanding grant sourced from or borrowed by
+  /// invocations on the dead node.
+  virtual void on_node_down(NodeId node, EngineApi& api) {
+    (void)node;
+    (void)api;
+  }
+
+  /// Node recovered from a crash. It comes back empty: no running
+  /// invocations, no warm containers, an empty harvest pool.
+  virtual void on_node_up(NodeId node, EngineApi& api) {
     (void)node;
     (void)api;
   }

@@ -152,6 +152,82 @@ TEST(HarvestPool, MergingPutsAccumulateAndKeepLaterExpiry) {
   EXPECT_DOUBLE_EQ(status.entries[0].est_expiry, 30.0);
 }
 
+TEST(HarvestPool, PreemptSourceIsIdempotent) {
+  HarvestResourcePool pool;
+  pool.put(1, {2, 256}, 10.0, 0.0);
+  pool.get({1, 128}, /*borrower=*/9, 0.0);
+  const auto first = pool.preempt_source(1, 1.0);
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first[0].borrower, 9);
+  EXPECT_DOUBLE_EQ(first[0].amount.cpu, 1.0);
+  EXPECT_EQ(pool.entry_count(), 0u);
+  EXPECT_EQ(pool.outstanding_borrows(), 0u);
+  // Preempting an already-preempted (or unknown) source changes nothing.
+  EXPECT_TRUE(pool.preempt_source(1, 2.0).empty());
+  EXPECT_TRUE(pool.preempt_source(77, 2.0).empty());
+  EXPECT_EQ(pool.entry_count(), 0u);
+}
+
+TEST(HarvestPool, ReharvestAfterSourcePreemptedReturnsNothing) {
+  HarvestResourcePool pool;
+  pool.put(1, {2, 256}, 10.0, 0.0);
+  pool.get({1, 128}, 9, 0.0);
+  pool.preempt_source(1, 1.0);  // source gone; borrower's grant is void
+  pool.reharvest(9, 2.0);
+  EXPECT_EQ(pool.entry_count(), 0u);
+  EXPECT_EQ(pool.outstanding_borrows(), 0u);
+  EXPECT_TRUE(pool.idle_total().is_zero());
+}
+
+TEST(HarvestPool, PreemptAllDrainsEntriesAndAggregatesGrants) {
+  HarvestResourcePool pool;
+  pool.put(1, {2, 256}, 10.0, 0.0);
+  pool.put(2, {3, 512}, 20.0, 0.0);
+  pool.get({1.5, 200}, /*borrower=*/8, 0.0);   // spans entry 2 (+ maybe 1)
+  pool.get({0.5, 64}, /*borrower=*/9, 0.0);
+  const auto revocations = pool.preempt_all(1.0);
+  sim::Resources revoked;
+  for (const auto& rev : revocations) revoked += rev.amount;
+  EXPECT_DOUBLE_EQ(revoked.cpu, 2.0);
+  EXPECT_DOUBLE_EQ(revoked.mem, 264.0);
+  EXPECT_EQ(pool.entry_count(), 0u);
+  EXPECT_EQ(pool.outstanding_borrows(), 0u);
+  EXPECT_TRUE(pool.idle_total().is_zero());
+  EXPECT_TRUE(pool.preempt_all(2.0).empty());
+  // Grants after the wipe come from nothing: the pool really is empty.
+  EXPECT_TRUE(pool.get({1, 64}, 7, 3.0).empty());
+}
+
+TEST(HarvestPool, IdleIntegralsAreMonotoneUnderInterleavedOps) {
+  // Fig. 10's idle-time integrals accumulate history; no put/get/preempt
+  // sequence may ever make them shrink.
+  HarvestResourcePool pool;
+  double last_cpu = 0.0, last_mem = 0.0;
+  auto check = [&](double now) {
+    const double cpu = pool.idle_cpu_core_seconds(now);
+    const double mem = pool.idle_mem_mb_seconds(now);
+    EXPECT_GE(cpu, last_cpu - 1e-12);
+    EXPECT_GE(mem, last_mem - 1e-12);
+    last_cpu = cpu;
+    last_mem = mem;
+  };
+  pool.put(1, {2, 256}, 100.0, 0.0);
+  check(1.0);
+  pool.get({1, 128}, 9, 1.0);
+  check(2.0);
+  pool.put(2, {4, 512}, 100.0, 2.0);
+  check(3.0);
+  pool.preempt_source(1, 3.0);
+  check(4.0);
+  pool.reharvest(9, 4.0);
+  check(5.0);
+  pool.preempt_all(5.0);
+  check(6.0);
+  check(10.0);  // pool empty: integrals frozen, never decreasing
+  EXPECT_GT(last_cpu, 0.0);
+  EXPECT_GT(last_mem, 0.0);
+}
+
 TEST(HarvestPool, ConcurrentAccessIsSafe) {
   // §5.1 "Concurrency": the pool must keep a consistent view under
   // concurrent access (mutex-protected in the implementation).
