@@ -1,0 +1,161 @@
+#include "analysis/invariant_auditor.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "util/audit.h"
+
+namespace libra::analysis {
+
+using core::HarvestResourcePool;
+using sim::InvocationId;
+using sim::NodeId;
+using sim::Resources;
+
+namespace {
+
+/// Absolute-plus-relative tolerance matching the pool's internal audits:
+/// the ledgers are sums of O(thousands) of doubles.
+bool near(double a, double b) {
+  return std::abs(a - b) <= 1e-6 + 1e-9 * std::max(std::abs(a), std::abs(b));
+}
+
+}  // namespace
+
+InvariantAuditor::InvariantAuditor(InvariantAuditorConfig cfg) : cfg_(cfg) {
+  if (cfg_.every_n < 1) cfg_.every_n = 1;
+}
+
+void InvariantAuditor::attach_policy(core::LibraPolicy* policy) {
+  policy_ = policy;
+  if (policy_) policy_->set_pool_listener(this);
+}
+
+void InvariantAuditor::check_pool_conservation(const HarvestResourcePool& pool,
+                                               const char* origin) const {
+  const auto st = pool.debug_state();
+  // Outstanding grants aggregated per source; every grant must trace back to
+  // a tracked source entry.
+  std::unordered_map<InvocationId, Resources> borrowed;
+  for (const auto& b : st.borrows) {
+    LIBRA_AUDIT_CHECK(b.amount.cpu >= 0.0 && b.amount.mem >= 0.0,
+                      origin << ": negative grant from source " << b.source
+                             << " to borrower " << b.borrower << " (cpu "
+                             << b.amount.cpu << ", mem " << b.amount.mem
+                             << ")");
+    borrowed[b.source] += b.amount;
+  }
+  std::unordered_map<InvocationId, const core::HarvestResourcePool::DebugEntry*>
+      by_source;
+  for (const auto& e : st.entries) by_source[e.source] = &e;
+  for (const auto& [source, amount] : borrowed) {
+    LIBRA_AUDIT_CHECK(by_source.count(source) != 0,
+                      origin << ": outstanding grant references source "
+                             << source
+                             << " with no pool entry (completed or revoked)");
+  }
+  // Conservation law: per source, idle + lent-out == cumulative harvested.
+  for (const auto& e : st.entries) {
+    const Resources lent =
+        borrowed.count(e.source) ? borrowed[e.source] : Resources{};
+    LIBRA_AUDIT_CHECK(
+        near(e.idle.cpu + lent.cpu, e.harvested.cpu) &&
+            near(e.idle.mem + lent.mem, e.harvested.mem),
+        origin << ": conservation violated for source " << e.source
+               << ": idle (cpu " << e.idle.cpu << ", mem " << e.idle.mem
+               << ") + lent (cpu " << lent.cpu << ", mem " << lent.mem
+               << ") != harvested (cpu " << e.harvested.cpu << ", mem "
+               << e.harvested.mem << ")");
+  }
+}
+
+void InvariantAuditor::on_pool_event(const core::PoolEvent& ev) {
+  ++stats_.pool_events;
+  if (ev.pool) check_pool_conservation(*ev.pool, "pool-event");
+}
+
+void InvariantAuditor::on_engine_event(sim::EngineApi& api, const char* what,
+                                       long event_id) {
+  ++stats_.engine_events;
+  if (event_id % cfg_.every_n != 0) return;
+  ++stats_.sweeps;
+  sweep(api, what);
+}
+
+void InvariantAuditor::sweep(sim::EngineApi& api, const char* what) const {
+  // ---- Node accounting: allocated totals == sum of placed reservations ----
+  const auto placed = api.placed_invocations();
+  std::unordered_map<NodeId, Resources> reserved;
+  std::unordered_map<NodeId, int> placed_count;
+  for (const InvocationId id : placed) {
+    LIBRA_AUDIT_CHECK(api.invocation_alive(id),
+                      "after " << what << ": placed invocation " << id
+                               << " is not alive");
+    const auto& inv = api.invocation(id);
+    LIBRA_AUDIT_CHECK(!inv.done, "after " << what << ": placed invocation "
+                                          << id << " already completed");
+    LIBRA_AUDIT_CHECK(
+        inv.node != sim::kNoNode &&
+            static_cast<size_t>(inv.node) < api.nodes().size(),
+        "after " << what << ": placed invocation " << id
+                 << " references invalid node " << inv.node);
+    reserved[inv.node] += inv.user_alloc + inv.probe_extra;
+    ++placed_count[inv.node];
+  }
+  for (const auto& node : api.nodes()) {
+    const auto it = reserved.find(node.id());
+    const Resources want = it != reserved.end() ? it->second : Resources{};
+    LIBRA_AUDIT_CHECK(
+        near(node.allocated().cpu, want.cpu) &&
+            near(node.allocated().mem, want.mem),
+        "after " << what << ": node " << node.id()
+                 << " allocated totals (cpu " << node.allocated().cpu
+                 << ", mem " << node.allocated().mem
+                 << ") != sum of placed reservations (cpu " << want.cpu
+                 << ", mem " << want.mem << ") over "
+                 << (placed_count.count(node.id()) ? placed_count.at(node.id())
+                                                   : 0)
+                 << " invocations");
+    if (!node.up()) {
+      LIBRA_AUDIT_CHECK(want.is_zero() && node.running_invocations() == 0,
+                        "after " << what << ": down node " << node.id()
+                                 << " still holds reservations (cpu "
+                                 << want.cpu << ", mem " << want.mem << ", "
+                                 << node.running_invocations() << " running)");
+    }
+  }
+
+  if (!policy_) return;
+
+  // ---- Pool sweeps: conservation + grant liveness + down-node emptiness ----
+  for (const auto& [node_id, pool] : policy_->pools_for_audit()) {
+    check_pool_conservation(pool, what);
+    const auto st = pool.debug_state();
+    for (const auto& b : st.borrows) {
+      LIBRA_AUDIT_CHECK(
+          api.invocation_alive(b.source) && !api.invocation(b.source).done,
+          "after " << what << ": pool of node " << node_id
+                   << " holds a grant sourced from invocation " << b.source
+                   << " which is completed or gone (borrower " << b.borrower
+                   << ")");
+      LIBRA_AUDIT_CHECK(
+          api.invocation_alive(b.borrower) &&
+              !api.invocation(b.borrower).done,
+          "after " << what << ": pool of node " << node_id
+                   << " holds a grant lent to invocation " << b.borrower
+                   << " which is completed or gone (source " << b.source
+                   << ")");
+    }
+    if (static_cast<size_t>(node_id) < api.nodes().size() &&
+        !api.nodes()[static_cast<size_t>(node_id)].up()) {
+      LIBRA_AUDIT_CHECK(st.entries.empty() && st.borrows.empty(),
+                        "after " << what << ": pool of DOWN node " << node_id
+                                 << " is not empty (" << st.entries.size()
+                                 << " entries, " << st.borrows.size()
+                                 << " grants) — harvested inventory must die "
+                                    "with its node");
+    }
+  }
+}
+
+}  // namespace libra::analysis

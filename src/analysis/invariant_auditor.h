@@ -1,0 +1,69 @@
+// Cross-layer invariant auditor (dynamic prong of the concurrency-correctness
+// analysis layer). Observes the simulation through two seams and re-derives
+// the conservation laws the rest of the code is supposed to uphold:
+//
+//   core::PoolEventListener — after every harvest-pool mutation, re-checks
+//   per-source conservation (idle + outstanding grants == harvested volume)
+//   from a consistent DebugState snapshot.
+//
+//   sim::EngineAuditHook — after every dispatched engine event (sampled via
+//   every_n for large traces), sweeps the whole cluster: every placed
+//   invocation is alive and references a real node; each node's allocated
+//   totals equal the sum of its placed invocations' reservations
+//   (user_alloc + probe_extra); no pool grant references a completed source
+//   or a borrower that is gone; a down node's pool is empty.
+//
+// A violation aborts through LIBRA_AUDIT_CHECK with a structured diagnostic
+// carrying the engine event id and sim time (stamped by Engine::notify_audit
+// before this hook runs), unless a test installed a failure handler.
+#pragma once
+
+#include "core/libra_policy.h"
+#include "core/pool_event.h"
+#include "sim/audit_hook.h"
+#include "sim/policy.h"
+
+namespace libra::analysis {
+
+struct InvariantAuditorConfig {
+  /// Full cluster sweeps run on every n-th engine event (1 = every event).
+  /// Pool-mutation conservation checks always run regardless.
+  int every_n = 1;
+};
+
+class InvariantAuditor final : public core::PoolEventListener,
+                               public sim::EngineAuditHook {
+ public:
+  explicit InvariantAuditor(InvariantAuditorConfig cfg = {});
+
+  /// Attaches this auditor to the policy's pools (current and future) so
+  /// pool mutations are observed. Also remembered for cluster sweeps; may be
+  /// nullptr when only engine-side checks are wanted.
+  void attach_policy(core::LibraPolicy* policy);
+
+  // core::PoolEventListener
+  void on_pool_event(const core::PoolEvent& ev) override;
+
+  // sim::EngineAuditHook
+  void on_engine_event(sim::EngineApi& api, const char* what,
+                       long event_id) override;
+
+  struct Stats {
+    long pool_events = 0;    // pool mutations observed
+    long engine_events = 0;  // engine events observed
+    long sweeps = 0;         // full cluster sweeps actually run
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  /// Per-source conservation from one consistent snapshot.
+  void check_pool_conservation(const core::HarvestResourcePool& pool,
+                               const char* origin) const;
+  void sweep(sim::EngineApi& api, const char* what) const;
+
+  InvariantAuditorConfig cfg_;
+  core::LibraPolicy* policy_ = nullptr;
+  Stats stats_;
+};
+
+}  // namespace libra::analysis

@@ -1,6 +1,9 @@
 #include "core/harvest_pool.h"
 
 #include <algorithm>
+#include <cmath>
+
+#include "util/audit.h"
 
 namespace libra::core {
 
@@ -8,12 +11,30 @@ using sim::InvocationId;
 using sim::Resources;
 using sim::SimTime;
 
+namespace {
+/// Conservation comparisons tolerate float noise from long +=/-= chains; the
+/// tolerance scales with magnitude (memory volumes run into the tens of
+/// thousands of MB).
+bool near(double a, double b) {
+  const double mag = std::max(std::abs(a), std::abs(b));
+  return std::abs(a - b) <= 1e-6 + 1e-9 * mag;
+}
+bool near(const Resources& a, const Resources& b) {
+  return near(a.cpu, b.cpu) && near(a.mem, b.mem);
+}
+}  // namespace
+
 void HarvestResourcePool::accrue_idle_locked(SimTime now) const {
   if (now > last_accrual_) {
     const Resources idle = idle_total_locked();
     idle_cpu_secs_ += idle.cpu * (now - last_accrual_);
     idle_mem_secs_ += idle.mem * (now - last_accrual_);
     last_accrual_ = now;
+  } else if (now < last_accrual_) {
+    // A caller's clock lags a concurrent observer's. The interval was
+    // already integrated against the older idle volume; count the skew for
+    // the auditor rather than double-counting the window.
+    ++clock_regressions_;
   }
 }
 
@@ -23,118 +44,207 @@ Resources HarvestResourcePool::idle_total_locked() const {
   return total;
 }
 
+void HarvestResourcePool::audit_invariants_locked(SimTime now) const {
+  // Per-source outstanding grant totals.
+  std::map<InvocationId, Resources> borrowed;
+  for (const auto& r : borrows_) {
+    LIBRA_AUDIT_CHECK(r.amount.cpu >= -1e-9 && r.amount.mem >= -1e-9,
+                      "negative borrow amount: source=" << r.source
+                          << " borrower=" << r.borrower << " amount="
+                          << r.amount.to_string() << " now=" << now);
+    auto it = entries_.find(r.source);
+    LIBRA_AUDIT_CHECK(it != entries_.end(),
+                      "borrow references a released source: source="
+                          << r.source << " borrower=" << r.borrower
+                          << " amount=" << r.amount.to_string()
+                          << " now=" << now);
+    if (it != entries_.end()) {
+      // put() only ever raises an entry's expiry, so a grant's recorded
+      // expiry can never exceed its source entry's current one.
+      LIBRA_AUDIT_CHECK(r.est_expiry <= it->second.est_expiry + 1e-9,
+                        "borrow expiry exceeds source expiry: source="
+                            << r.source << " borrower=" << r.borrower
+                            << " borrow_expiry=" << r.est_expiry
+                            << " entry_expiry=" << it->second.est_expiry);
+    }
+    borrowed[r.source] += r.amount;
+  }
+  // Conservation per source: idle + outstanding grants == harvested volume.
+  for (const auto& [source, entry] : entries_) {
+    LIBRA_AUDIT_CHECK(entry.idle.cpu >= -1e-9 && entry.idle.mem >= -1e-9,
+                      "negative idle volume: source=" << source << " idle="
+                          << entry.idle.to_string() << " now=" << now);
+    const Resources outstanding = entry.idle + borrowed[source];
+    LIBRA_AUDIT_CHECK(
+        near(outstanding, entry.harvested),
+        "conservation violated: source="
+            << source << " idle=" << entry.idle.to_string() << " borrowed="
+            << borrowed[source].to_string() << " harvested="
+            << entry.harvested.to_string() << " expiry=" << entry.est_expiry
+            << " now=" << now);
+  }
+}
+
+void HarvestResourcePool::notify(PoolOp op, InvocationId subject,
+                                 SimTime now) const {
+  if (listener_ == nullptr) return;
+  PoolEvent event;
+  event.op = op;
+  event.subject = subject;
+  event.now = now;
+  event.pool = this;
+  listener_->on_pool_event(event);
+}
+
 void HarvestResourcePool::put(InvocationId source, const Resources& volume,
                               SimTime est_completion, SimTime now) {
   if (volume.cpu < 0 || volume.mem < 0) return;
-  std::lock_guard<std::mutex> lock(mu_);
-  accrue_idle_locked(now);
-  auto& entry = entries_[source];
-  entry.idle += volume;
-  entry.est_expiry = std::max(entry.est_expiry, est_completion);
+  {
+    util::MutexLock lock(mu_);
+    accrue_idle_locked(now);
+    auto& entry = entries_[source];
+    entry.idle += volume;
+    entry.harvested += volume;
+    entry.est_expiry = std::max(entry.est_expiry, est_completion);
+    audit_invariants_locked(now);
+  }
+  notify(PoolOp::kPut, source, now);
 }
 
 std::vector<HarvestResourcePool::Grant> HarvestResourcePool::get(
     const Resources& desired, InvocationId borrower, SimTime now,
     const GetOptions& opt) {
-  std::lock_guard<std::mutex> lock(mu_);
-  accrue_idle_locked(now);
-
-  // Candidate ordering: timeliness-aware mode lends the longest-lived
-  // resources first ("prioritizes harvested resources that can potentially
-  // be utilized longer"); the blind mode walks entries in id order.
-  std::vector<std::map<InvocationId, Entry>::iterator> order;
-  for (auto it = entries_.begin(); it != entries_.end(); ++it)
-    order.push_back(it);
-  if (opt.timeliness_order) {
-    std::stable_sort(order.begin(), order.end(),
-                     [](const auto& a, const auto& b) {
-                       return a->second.est_expiry > b->second.est_expiry;
-                     });
-  }
-
-  Resources remaining = desired.clamped_non_negative();
   std::vector<Grant> grants;
-  for (auto& it : order) {
-    if (remaining.is_zero()) break;
-    Entry& entry = it->second;
-    // Entries past their *estimated* expiry are still valid — the estimate
-    // only orders priorities; actual release happens at source completion.
-    // Timeliness ordering already places them last.
-    Resources take;
-    take.cpu = std::min(remaining.cpu, entry.idle.cpu);
-    const bool mem_ok =
-        opt.mem_expiry_floor < 0.0 || entry.est_expiry >= opt.mem_expiry_floor;
-    take.mem = mem_ok ? std::min(remaining.mem, entry.idle.mem) : 0.0;
-    if (take.is_zero()) continue;
-    entry.idle -= take;
-    remaining -= take;
-    remaining = remaining.clamped_non_negative();
-    grants.push_back({it->first, take, entry.est_expiry});
-    borrows_.push_back({it->first, borrower, take, entry.est_expiry});
+  {
+    util::MutexLock lock(mu_);
+    accrue_idle_locked(now);
+
+    // Candidate ordering: timeliness-aware mode lends the longest-lived
+    // resources first ("prioritizes harvested resources that can potentially
+    // be utilized longer"); the blind mode walks entries in id order.
+    std::vector<std::map<InvocationId, Entry>::iterator> order;
+    for (auto it = entries_.begin(); it != entries_.end(); ++it)
+      order.push_back(it);
+    if (opt.timeliness_order) {
+      std::stable_sort(order.begin(), order.end(),
+                       [](const auto& a, const auto& b) {
+                         return a->second.est_expiry > b->second.est_expiry;
+                       });
+    }
+
+    Resources remaining = desired.clamped_non_negative();
+    for (auto& it : order) {
+      if (remaining.is_zero()) break;
+      Entry& entry = it->second;
+      // Entries past their *estimated* expiry are still valid — the estimate
+      // only orders priorities; actual release happens at source completion.
+      // Timeliness ordering already places them last.
+      Resources take;
+      take.cpu = std::min(remaining.cpu, entry.idle.cpu);
+      const bool mem_ok = opt.mem_expiry_floor < 0.0 ||
+                          entry.est_expiry >= opt.mem_expiry_floor;
+      take.mem = mem_ok ? std::min(remaining.mem, entry.idle.mem) : 0.0;
+      if (take.is_zero()) continue;
+      entry.idle -= take;
+      remaining -= take;
+      remaining = remaining.clamped_non_negative();
+      grants.push_back({it->first, take, entry.est_expiry});
+      borrows_.push_back({it->first, borrower, take, entry.est_expiry});
+    }
+    // Timeliness ordering promises longest-lived-first grants (§5.1); the
+    // sort above must survive refactors, so the promise is audited here.
+    if (opt.timeliness_order) {
+      for (size_t i = 1; i < grants.size(); ++i) {
+        LIBRA_AUDIT_CHECK(
+            grants[i - 1].est_expiry >= grants[i].est_expiry - 1e-9,
+            "timeliness order violated: grant["
+                << i - 1 << "] source=" << grants[i - 1].source << " expiry="
+                << grants[i - 1].est_expiry << " precedes grant[" << i
+                << "] source=" << grants[i].source << " expiry="
+                << grants[i].est_expiry << " borrower=" << borrower);
+      }
+    }
+    audit_invariants_locked(now);
   }
+  if (!grants.empty()) notify(PoolOp::kGet, borrower, now);
   return grants;
 }
 
 std::vector<HarvestResourcePool::Revocation>
 HarvestResourcePool::preempt_source(InvocationId source, SimTime now) {
-  std::lock_guard<std::mutex> lock(mu_);
-  accrue_idle_locked(now);
-  entries_.erase(source);
-  // Aggregate outstanding grants per borrower, then drop the records.
-  std::map<InvocationId, Resources> per_borrower;
-  auto keep_end = std::remove_if(
-      borrows_.begin(), borrows_.end(), [&](const BorrowRecord& r) {
-        if (r.source != source) return false;
-        per_borrower[r.borrower] += r.amount;
-        return true;
-      });
-  borrows_.erase(keep_end, borrows_.end());
   std::vector<Revocation> out;
-  out.reserve(per_borrower.size());
-  for (const auto& [borrower, amount] : per_borrower)
-    out.push_back({borrower, amount});
+  {
+    util::MutexLock lock(mu_);
+    accrue_idle_locked(now);
+    entries_.erase(source);
+    // Aggregate outstanding grants per borrower, then drop the records.
+    std::map<InvocationId, Resources> per_borrower;
+    auto keep_end = std::remove_if(
+        borrows_.begin(), borrows_.end(), [&](const BorrowRecord& r) {
+          if (r.source != source) return false;
+          per_borrower[r.borrower] += r.amount;
+          return true;
+        });
+    borrows_.erase(keep_end, borrows_.end());
+    out.reserve(per_borrower.size());
+    for (const auto& [borrower, amount] : per_borrower)
+      out.push_back({borrower, amount});
+    audit_invariants_locked(now);
+  }
+  notify(PoolOp::kPreemptSource, source, now);
   return out;
 }
 
 void HarvestResourcePool::reharvest(InvocationId borrower, SimTime now) {
-  std::lock_guard<std::mutex> lock(mu_);
-  accrue_idle_locked(now);
-  auto keep_end = std::remove_if(
-      borrows_.begin(), borrows_.end(), [&](const BorrowRecord& r) {
-        if (r.borrower != borrower) return false;
-        auto it = entries_.find(r.source);
-        if (it != entries_.end()) {
-          // Source is still running: the volume re-enters the pool at its
-          // original priority.
-          it->second.idle += r.amount;
-        }
-        return true;
-      });
-  borrows_.erase(keep_end, borrows_.end());
+  {
+    util::MutexLock lock(mu_);
+    accrue_idle_locked(now);
+    auto keep_end = std::remove_if(
+        borrows_.begin(), borrows_.end(), [&](const BorrowRecord& r) {
+          if (r.borrower != borrower) return false;
+          auto it = entries_.find(r.source);
+          if (it != entries_.end()) {
+            // Source is still running: the volume re-enters the pool at its
+            // original priority.
+            it->second.idle += r.amount;
+          }
+          return true;
+        });
+    borrows_.erase(keep_end, borrows_.end());
+    audit_invariants_locked(now);
+  }
+  notify(PoolOp::kReharvest, borrower, now);
 }
 
 std::vector<HarvestResourcePool::Revocation> HarvestResourcePool::preempt_all(
     SimTime now) {
-  std::lock_guard<std::mutex> lock(mu_);
-  accrue_idle_locked(now);
-  entries_.clear();
-  std::map<InvocationId, Resources> per_borrower;
-  for (const auto& r : borrows_) per_borrower[r.borrower] += r.amount;
-  borrows_.clear();
   std::vector<Revocation> out;
-  out.reserve(per_borrower.size());
-  for (const auto& [borrower, amount] : per_borrower)
-    out.push_back({borrower, amount});
+  {
+    util::MutexLock lock(mu_);
+    accrue_idle_locked(now);
+    entries_.clear();
+    std::map<InvocationId, Resources> per_borrower;
+    for (const auto& r : borrows_) per_borrower[r.borrower] += r.amount;
+    borrows_.clear();
+    out.reserve(per_borrower.size());
+    for (const auto& [borrower, amount] : per_borrower)
+      out.push_back({borrower, amount});
+    audit_invariants_locked(now);
+  }
+  notify(PoolOp::kPreemptAll, 0, now);
   return out;
 }
 
 size_t HarvestResourcePool::outstanding_borrows() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return borrows_.size();
 }
 
 PoolStatus HarvestResourcePool::snapshot(SimTime now) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
+  // Advance the accrual clock: a status consumer pairing this snapshot with
+  // the idle-time integrals sees both as of the same instant.
+  accrue_idle_locked(now);
   PoolStatus status;
   status.taken_at = now;
   for (const auto& [id, entry] : entries_) {
@@ -145,25 +255,60 @@ PoolStatus HarvestResourcePool::snapshot(SimTime now) const {
 }
 
 Resources HarvestResourcePool::idle_total() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return idle_total_locked();
 }
 
 size_t HarvestResourcePool::entry_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return entries_.size();
 }
 
+HarvestResourcePool::IdleIntegrals HarvestResourcePool::idle_integrals(
+    SimTime now) const {
+  util::MutexLock lock(mu_);
+  accrue_idle_locked(now);
+  return {idle_cpu_secs_, idle_mem_secs_};
+}
+
 double HarvestResourcePool::idle_cpu_core_seconds(SimTime now) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   accrue_idle_locked(now);
   return idle_cpu_secs_;
 }
 
 double HarvestResourcePool::idle_mem_mb_seconds(SimTime now) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   accrue_idle_locked(now);
   return idle_mem_secs_;
+}
+
+HarvestResourcePool::DebugState HarvestResourcePool::debug_state() const {
+  util::MutexLock lock(mu_);
+  DebugState state;
+  state.entries.reserve(entries_.size());
+  for (const auto& [source, entry] : entries_)
+    state.entries.push_back(
+        {source, entry.idle, entry.est_expiry, entry.harvested});
+  state.borrows.reserve(borrows_.size());
+  for (const auto& r : borrows_)
+    state.borrows.push_back({r.source, r.borrower, r.amount, r.est_expiry});
+  state.idle_cpu_secs = idle_cpu_secs_;
+  state.idle_mem_secs = idle_mem_secs_;
+  state.last_accrual = last_accrual_;
+  state.clock_regressions = clock_regressions_;
+  return state;
+}
+
+void HarvestResourcePool::audit_now(SimTime now) const {
+  util::MutexLock lock(mu_);
+  audit_invariants_locked(now);
+}
+
+void HarvestResourcePool::corrupt_for_audit_test(InvocationId source,
+                                                 const Resources& delta) {
+  util::MutexLock lock(mu_);
+  entries_[source].idle += delta;  // deliberately skips the harvested ledger
 }
 
 }  // namespace libra::core

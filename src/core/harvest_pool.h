@@ -17,14 +17,23 @@
 //
 // The pool also keeps the idle-resource-time integrals (resource volume x
 // time spent idle in the pool) that Fig. 10(b)/(c) report.
+//
+// Correctness machinery: every field is LIBRA_GUARDED_BY(mu_) so clang's
+// -Wthread-safety proves the lock discipline; every mutating operation ends
+// with an internal conservation audit (idle + outstanding grants == volume
+// harvested per source, LIBRA_AUDIT_CHECK-enforced in all build types) and
+// fires a PoolEvent so the cross-layer invariant auditor (src/analysis) can
+// run its own checks against debug_state().
 #pragma once
 
 #include <map>
-#include <mutex>
 #include <vector>
 
+#include "core/pool_event.h"
 #include "core/pool_status.h"
 #include "sim/types.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace libra::core {
 
@@ -49,19 +58,29 @@ class HarvestResourcePool {
     sim::SimTime mem_expiry_floor = -1.0;
   };
 
+  /// Both Fig. 10 idle-time integrals read under ONE lock acquisition. The
+  /// per-axis getters below each lock separately, so a concurrent put/get
+  /// between the two reads can tear the pair; consumers that need a
+  /// consistent (cpu, mem) observation must use this.
+  struct IdleIntegrals {
+    double cpu_core_seconds = 0.0;
+    double mem_mb_seconds = 0.0;
+  };
+
   /// Tracks `volume` of idle resources harvested from `source`, with the
   /// estimated completion timestamp as the priority. Merging an existing
   /// source accumulates volume and keeps the later expiry.
   void put(sim::InvocationId source, const sim::Resources& volume,
-           sim::SimTime est_completion, sim::SimTime now);
+           sim::SimTime est_completion, sim::SimTime now) LIBRA_EXCLUDES(mu_);
 
   /// Best-effort acquisition of up to `desired` for `borrower`. Returns the
   /// per-source grants actually taken (possibly empty).
   std::vector<Grant> get(const sim::Resources& desired,
                          sim::InvocationId borrower, sim::SimTime now,
-                         const GetOptions& opt);
+                         const GetOptions& opt) LIBRA_EXCLUDES(mu_);
   std::vector<Grant> get(const sim::Resources& desired,
-                         sim::InvocationId borrower, sim::SimTime now) {
+                         sim::InvocationId borrower, sim::SimTime now)
+      LIBRA_EXCLUDES(mu_) {
     return get(desired, borrower, now, GetOptions());
   }
 
@@ -69,39 +88,92 @@ class HarvestResourcePool {
   /// was safeguarded. Drops its idle entry and returns the outstanding
   /// grants that must be revoked from borrowers.
   std::vector<Revocation> preempt_source(sim::InvocationId source,
-                                         sim::SimTime now);
+                                         sim::SimTime now) LIBRA_EXCLUDES(mu_);
 
   /// Re-harvesting (§5.1): the borrower finished; still-valid grants return
   /// to their source entries at the original priority. Grants whose source
   /// already finished are gone (nothing to return).
-  void reharvest(sim::InvocationId borrower, sim::SimTime now);
+  void reharvest(sim::InvocationId borrower, sim::SimTime now)
+      LIBRA_EXCLUDES(mu_);
 
   /// Node-crash teardown: drops every idle entry and returns ALL outstanding
   /// grants aggregated per borrower, so the policy can revoke them before the
   /// engine reaps the node. Leaves the pool empty (idle-time integrals are
   /// preserved — the node accrued that history before dying).
-  std::vector<Revocation> preempt_all(sim::SimTime now);
+  std::vector<Revocation> preempt_all(sim::SimTime now) LIBRA_EXCLUDES(mu_);
 
   /// Number of outstanding borrow records (grants not yet returned/revoked).
-  size_t outstanding_borrows() const;
+  size_t outstanding_borrows() const LIBRA_EXCLUDES(mu_);
 
-  /// Snapshot for health-ping piggybacking.
-  PoolStatus snapshot(sim::SimTime now) const;
+  /// Snapshot for health-ping piggybacking. Advances the idle-time accrual
+  /// clock so the snapshot's taken_at and the integrals stay consistent.
+  PoolStatus snapshot(sim::SimTime now) const LIBRA_EXCLUDES(mu_);
 
   /// Total currently idle (un-borrowed) volume.
-  sim::Resources idle_total() const;
+  sim::Resources idle_total() const LIBRA_EXCLUDES(mu_);
 
   /// Number of tracked source entries.
-  size_t entry_count() const;
+  size_t entry_count() const LIBRA_EXCLUDES(mu_);
 
   // ---- Fig. 10 idle-time accounting ----
-  double idle_cpu_core_seconds(sim::SimTime now) const;
-  double idle_mem_mb_seconds(sim::SimTime now) const;
+  IdleIntegrals idle_integrals(sim::SimTime now) const LIBRA_EXCLUDES(mu_);
+  double idle_cpu_core_seconds(sim::SimTime now) const LIBRA_EXCLUDES(mu_);
+  double idle_mem_mb_seconds(sim::SimTime now) const LIBRA_EXCLUDES(mu_);
+
+  // ---- Correctness / audit machinery ----
+
+  /// Introspection for the invariant auditor and tests: a consistent copy of
+  /// the pool's entire state taken under one lock acquisition.
+  struct DebugEntry {
+    sim::InvocationId source = 0;
+    sim::Resources idle;
+    sim::SimTime est_expiry = 0.0;
+    /// Cumulative volume harvested from the source and still owned by the
+    /// pool (idle or lent out); shrinks only at preemptive release.
+    sim::Resources harvested;
+  };
+  struct DebugBorrow {
+    sim::InvocationId source = 0;
+    sim::InvocationId borrower = 0;
+    sim::Resources amount;
+    sim::SimTime est_expiry = 0.0;
+  };
+  struct DebugState {
+    std::vector<DebugEntry> entries;
+    std::vector<DebugBorrow> borrows;
+    double idle_cpu_secs = 0.0;
+    double idle_mem_secs = 0.0;
+    sim::SimTime last_accrual = 0.0;
+    /// Operations observed with `now` behind the accrual clock (clock skew
+    /// between concurrent callers; counted, never fatal).
+    long clock_regressions = 0;
+  };
+  DebugState debug_state() const LIBRA_EXCLUDES(mu_);
+
+  /// Re-runs the internal conservation audit on the current state (the same
+  /// checks every mutating operation performs). Aborts via LIBRA_AUDIT_CHECK
+  /// on violation.
+  void audit_now(sim::SimTime now) const LIBRA_EXCLUDES(mu_);
+
+  /// Registers the observer notified (outside the lock) after every mutating
+  /// operation. Install before concurrent use; pass nullptr to detach.
+  void set_event_listener(PoolEventListener* listener) {
+    listener_ = listener;
+  }
+
+  /// TEST-ONLY fault injection: adds `delta` idle volume to `source` without
+  /// recording it as harvested, deliberately breaking conservation so the
+  /// negative tests can prove the auditor fires. Never call outside tests.
+  void corrupt_for_audit_test(sim::InvocationId source,
+                              const sim::Resources& delta) LIBRA_EXCLUDES(mu_);
 
  private:
   struct Entry {
     sim::Resources idle;
     sim::SimTime est_expiry = 0.0;
+    /// Conservation ledger: total volume harvested from this source and not
+    /// yet preemptively released. Invariant: idle + Σ borrows == harvested.
+    sim::Resources harvested;
   };
   struct BorrowRecord {
     sim::InvocationId source = 0;
@@ -110,15 +182,23 @@ class HarvestResourcePool {
     sim::SimTime est_expiry = 0.0;
   };
 
-  void accrue_idle_locked(sim::SimTime now) const;
-  sim::Resources idle_total_locked() const;
+  void accrue_idle_locked(sim::SimTime now) const LIBRA_REQUIRES(mu_);
+  sim::Resources idle_total_locked() const LIBRA_REQUIRES(mu_);
+  /// Conservation + ordering audit; runs after every mutation.
+  void audit_invariants_locked(sim::SimTime now) const LIBRA_REQUIRES(mu_);
+  void notify(PoolOp op, sim::InvocationId subject, sim::SimTime now) const
+      LIBRA_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<sim::InvocationId, Entry> entries_;
-  std::vector<BorrowRecord> borrows_;
-  mutable double idle_cpu_secs_ = 0.0;
-  mutable double idle_mem_secs_ = 0.0;
-  mutable sim::SimTime last_accrual_ = 0.0;
+  mutable util::Mutex mu_;
+  std::map<sim::InvocationId, Entry> entries_ LIBRA_GUARDED_BY(mu_);
+  std::vector<BorrowRecord> borrows_ LIBRA_GUARDED_BY(mu_);
+  mutable double idle_cpu_secs_ LIBRA_GUARDED_BY(mu_) = 0.0;
+  mutable double idle_mem_secs_ LIBRA_GUARDED_BY(mu_) = 0.0;
+  mutable sim::SimTime last_accrual_ LIBRA_GUARDED_BY(mu_) = 0.0;
+  mutable long clock_regressions_ LIBRA_GUARDED_BY(mu_) = 0;
+  /// Written once during setup, read outside the lock (the callback must be
+  /// able to re-enter the pool's const API).
+  PoolEventListener* listener_ = nullptr;
 };
 
 }  // namespace libra::core

@@ -50,6 +50,18 @@ std::shared_ptr<LibraPolicy> LibraPolicy::with_coverage_scheduler(
   return policy;
 }
 
+HarvestResourcePool& LibraPolicy::pool_for(NodeId node) {
+  auto [it, inserted] = pools_.try_emplace(node);
+  if (inserted && pool_listener_ != nullptr)
+    it->second.set_event_listener(pool_listener_);
+  return it->second;
+}
+
+void LibraPolicy::set_pool_listener(PoolEventListener* listener) {
+  pool_listener_ = listener;
+  for (auto& [node, pool] : pools_) pool.set_event_listener(listener);
+}
+
 std::string LibraPolicy::name() const {
   return "libra(" + predictor_->name() + "," + scheduler_->name() + ")";
 }
@@ -87,7 +99,7 @@ double LibraPolicy::predicted_exec_time(const Invocation& inv,
 
 AllocationPlan LibraPolicy::plan_allocation(Invocation& inv, EngineApi& api) {
   last_seen_now_ = api.now();
-  auto& pool = pools_[inv.node];
+  auto& pool = pool_for(inv.node);
   Resources effective = inv.user_alloc;
 
   if (inv.profiling_probe) {
@@ -162,7 +174,7 @@ AllocationPlan LibraPolicy::plan_allocation(Invocation& inv, EngineApi& api) {
 void LibraPolicy::backfill_node(sim::NodeId node, EngineApi& api) {
   auto it = backfill_candidates_.find(node);
   if (it == backfill_candidates_.end() || it->second.empty()) return;
-  auto& pool = pools_[node];
+  auto& pool = pool_for(node);
   std::vector<sim::InvocationId> done;
   // Least-served first so a few hungry invocations cannot starve the rest
   // across pings.
@@ -252,7 +264,7 @@ void LibraPolicy::on_monitor(Invocation& inv, EngineApi& api) {
 
 void LibraPolicy::preemptive_release(Invocation& inv, EngineApi& api,
                                      bool restore_allocation) {
-  auto& pool = pools_[inv.node];
+  auto& pool = pool_for(inv.node);
   const auto revocations = pool.preempt_source(inv.id, api.now());
   for (const auto& rev : revocations) {
     ++stats_.pool_revocations;
@@ -281,7 +293,7 @@ void LibraPolicy::preemptive_release(Invocation& inv, EngineApi& api,
 
 void LibraPolicy::on_complete(Invocation& inv, EngineApi& api) {
   last_seen_now_ = api.now();
-  auto& pool = pools_[inv.node];
+  auto& pool = pool_for(inv.node);
   // Timeliness: everything harvested from this invocation dies with it —
   // idle volume leaves the pool, lent volume is revoked from borrowers.
   preemptive_release(inv, api, /*restore_allocation=*/false);
@@ -316,7 +328,7 @@ void LibraPolicy::on_health_ping(NodeId node, EngineApi& api) {
   LIBRA_DEBUG() << "ping node " << node << " t=" << api.now() << " candidates="
                 << backfill_candidates_[node].size();
   if (cfg_.runtime_backfill) backfill_node(node, api);
-  snapshots_[node] = pools_[node].snapshot(api.now());
+  snapshots_[node] = pool_for(node).snapshot(api.now());
 }
 
 void LibraPolicy::on_node_down(NodeId node, EngineApi& api) {
@@ -324,7 +336,7 @@ void LibraPolicy::on_node_down(NodeId node, EngineApi& api) {
   // Harvest-safety invariant under churn: the dead node's pool dies with it.
   // Preemptively release every idle entry and revoke every outstanding grant
   // BEFORE the engine reaps the node, so no grant sourced there survives.
-  auto& pool = pools_[node];
+  auto& pool = pool_for(node);
   const auto revocations = pool.preempt_all(api.now());
   for (const auto& rev : revocations) {
     ++stats_.pool_revocations;
@@ -360,9 +372,12 @@ PoolStatus LibraPolicy::pool_status(NodeId node) const {
 sim::PolicyStats LibraPolicy::stats() const {
   sim::PolicyStats out = stats_;
   for (const auto& [node, pool] : pools_) {
-    out.pool_idle_cpu_core_seconds +=
-        pool.idle_cpu_core_seconds(last_seen_now_);
-    out.pool_idle_mem_mb_seconds += pool.idle_mem_mb_seconds(last_seen_now_);
+    // Single combined read: the (cpu, mem) idle integrals are a pair kept
+    // consistent under one lock; reading them through two separate accessors
+    // could interleave with a concurrent put()/get() and tear the pair.
+    const auto ii = pool.idle_integrals(last_seen_now_);
+    out.pool_idle_cpu_core_seconds += ii.cpu_core_seconds;
+    out.pool_idle_mem_mb_seconds += ii.mem_mb_seconds;
   }
   return out;
 }

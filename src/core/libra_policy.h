@@ -85,9 +85,20 @@ class LibraPolicy final : public sim::Policy, public PoolStatusProvider {
   PoolStatus pool_status(sim::NodeId node) const override;
 
   /// Direct pool access for tests and white-box benches.
-  HarvestResourcePool& pool(sim::NodeId node) { return pools_[node]; }
+  HarvestResourcePool& pool(sim::NodeId node) { return pool_for(node); }
   const LibraPolicyConfig& config() const { return cfg_; }
   DemandPredictor& predictor() { return *predictor_; }
+
+  /// Registers an observer on every per-node pool, current and future (the
+  /// invariant auditor). Non-owning; install before the run starts.
+  void set_pool_listener(PoolEventListener* listener);
+
+  /// Read-only pool enumeration for the invariant auditor's cross-layer
+  /// sweeps (grant liveness, down-node emptiness).
+  const std::unordered_map<sim::NodeId, HarvestResourcePool>& pools_for_audit()
+      const {
+    return pools_;
+  }
 
  private:
   /// Predicted execution time if the invocation runs with `alloc`.
@@ -100,10 +111,14 @@ class LibraPolicy final : public sim::Policy, public PoolStatusProvider {
                           bool restore_allocation);
   /// Tops up running under-provisioned invocations from the node's pool.
   void backfill_node(sim::NodeId node, sim::EngineApi& api);
+  /// Single creation point for per-node pools: lazily constructs the pool
+  /// and attaches the registered event listener.
+  HarvestResourcePool& pool_for(sim::NodeId node);
 
   LibraPolicyConfig cfg_;
   PredictorPtr predictor_;
   SchedulerPtr scheduler_;
+  PoolEventListener* pool_listener_ = nullptr;
   std::unordered_map<sim::NodeId, HarvestResourcePool> pools_;
   std::unordered_map<sim::NodeId, PoolStatus> snapshots_;
   /// Freyr mode: functions whose next invocation must run un-harvested.

@@ -10,6 +10,8 @@
 
 #include "core/pool_status.h"
 #include "sim/policy.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace libra::core {
 
@@ -34,13 +36,21 @@ bool shard_feasible(const sim::Node& node, const sim::Invocation& inv,
 
 /// OpenWhisk-style sticky hashing: invocations of a function go to the same
 /// node (container reuse); when the target lacks capacity the hash advances
-/// and upcoming invocations of the function follow (§6.3).
+/// and upcoming invocations of the function follow (§6.3). The salt map is
+/// shared scheduler-shard state — every decentralized shard advances the
+/// same per-function target — so it is mutex-protected and annotated.
 class StickyHashState {
  public:
-  sim::NodeId pick(sim::Invocation& inv, sim::EngineApi& api);
+  StickyHashState() = default;
+  StickyHashState(const StickyHashState&) = delete;
+  StickyHashState& operator=(const StickyHashState&) = delete;
+
+  sim::NodeId pick(sim::Invocation& inv, sim::EngineApi& api)
+      LIBRA_EXCLUDES(mu_);
 
  private:
-  std::unordered_map<sim::FunctionId, int> salt_;
+  util::Mutex mu_;
+  std::unordered_map<sim::FunctionId, int> salt_ LIBRA_GUARDED_BY(mu_);
 };
 
 /// Libra's timeliness-aware greedy scheduler (§6.3):

@@ -1,5 +1,8 @@
 #include "exp/runner.h"
 
+#include "analysis/invariant_auditor.h"
+#include "core/libra_policy.h"
+
 namespace libra::exp {
 
 namespace {
@@ -31,7 +34,19 @@ sim::EngineConfig jetstream_config(int nodes, int num_shards) {
 sim::RunMetrics run_experiment(const sim::EngineConfig& cfg,
                                std::shared_ptr<sim::Policy> policy,
                                std::vector<sim::Invocation> trace) {
-  sim::Engine engine(cfg, std::move(policy));
+  // Every experiment runs under the invariant auditor unless the caller
+  // installed their own hook. Small traces are swept after every event;
+  // large ones are sampled so the O(placed + pools) sweep stays off the
+  // critical path (the always-on pool-internal audits cover every mutation
+  // either way).
+  analysis::InvariantAuditorConfig audit_cfg;
+  audit_cfg.every_n = trace.size() <= 4096 ? 1 : 64;
+  analysis::InvariantAuditor auditor(audit_cfg);
+  auditor.attach_policy(dynamic_cast<core::LibraPolicy*>(policy.get()));
+
+  sim::EngineConfig audited_cfg = cfg;
+  if (audited_cfg.audit_hook == nullptr) audited_cfg.audit_hook = &auditor;
+  sim::Engine engine(audited_cfg, std::move(policy));
   return engine.run(std::move(trace));
 }
 

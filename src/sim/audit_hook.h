@@ -1,0 +1,24 @@
+// Seam between the engine's event loop and the invariant auditor
+// (src/analysis). The engine cannot depend on the analysis layer, so it only
+// knows this interface: after fully dispatching an event it hands the hook a
+// view of itself plus the event's name and id. Production runs leave the
+// hook unset — the cost is a null check per event.
+#pragma once
+
+namespace libra::sim {
+
+class EngineApi;
+
+class EngineAuditHook {
+ public:
+  virtual ~EngineAuditHook() = default;
+
+  /// Called after the engine finishes dispatching one event, with all state
+  /// transitions for that event applied. `what` names the event kind
+  /// ("completion", "node_down", ...); `event_id` is the engine's global
+  /// dispatch counter (matches the audit-context stamp in diagnostics).
+  virtual void on_engine_event(EngineApi& api, const char* what,
+                               long event_id) = 0;
+};
+
+}  // namespace libra::sim

@@ -4,8 +4,18 @@
 
 namespace libra::sim {
 
-void ContainerPool::evict_expired(std::vector<SimTime>& stack,
-                                  SimTime now) const {
+ContainerPool::ContainerPool(ContainerPool&& other) noexcept
+    : cfg_(other.cfg_) {
+  // Setup-time only (vector<Node> growth); the source holds no concurrent
+  // users, but take its lock anyway so the analysis stays honest.
+  util::MutexLock lock(other.mu_);
+  warm_ = std::move(other.warm_);
+  cold_starts_ = other.cold_starts_;
+  warm_starts_ = other.warm_starts_;
+}
+
+void ContainerPool::evict_expired_locked(std::vector<SimTime>& stack,
+                                         SimTime now) const {
   // Warm containers idle longer than keep_alive are reclaimed by the node.
   stack.erase(std::remove_if(stack.begin(), stack.end(),
                              [&](SimTime paused_at) {
@@ -16,8 +26,9 @@ void ContainerPool::evict_expired(std::vector<SimTime>& stack,
 
 ContainerPool::Acquisition ContainerPool::acquire(FunctionId func,
                                                   SimTime now) {
+  util::MutexLock lock(mu_);
   auto& stack = warm_[func];
-  evict_expired(stack, now);
+  evict_expired_locked(stack, now);
   if (!stack.empty()) {
     stack.pop_back();
     ++warm_starts_;
@@ -28,13 +39,15 @@ ContainerPool::Acquisition ContainerPool::acquire(FunctionId func,
 }
 
 void ContainerPool::release(FunctionId func, SimTime now) {
+  util::MutexLock lock(mu_);
   auto& stack = warm_[func];
-  evict_expired(stack, now);
+  evict_expired_locked(stack, now);
   if (static_cast<int>(stack.size()) < cfg_.max_warm_per_function)
     stack.push_back(now);
 }
 
 int ContainerPool::warm_count(FunctionId func, SimTime now) const {
+  util::MutexLock lock(mu_);
   auto it = warm_.find(func);
   if (it == warm_.end()) return 0;
   int live = 0;

@@ -3,12 +3,19 @@
 // node converts cold starts (container creation + dependency install) into
 // warm starts. The hash-affinity behaviour of §6.3 exists precisely to
 // exploit this.
+//
+// Mutex-protected: the real system's per-node invoker agent serves container
+// acquire/release from several scheduler shards and the crash-reap path
+// concurrently (§5.2, §6.4). All state is LIBRA_GUARDED_BY(mu_) so clang's
+// -Wthread-safety proves the discipline.
 #pragma once
 
 #include <unordered_map>
 #include <vector>
 
 #include "sim/types.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace libra::sim {
 
@@ -22,6 +29,12 @@ struct ContainerPoolConfig {
 class ContainerPool {
  public:
   explicit ContainerPool(ContainerPoolConfig cfg = {}) : cfg_(cfg) {}
+  /// Nodes live in a std::vector; moving transfers the warm set (the source
+  /// must not be in concurrent use — the engine only moves during setup).
+  ContainerPool(ContainerPool&& other) noexcept;
+  ContainerPool(const ContainerPool&) = delete;
+  ContainerPool& operator=(const ContainerPool&) = delete;
+  ContainerPool& operator=(ContainerPool&&) = delete;
 
   struct Acquisition {
     double delay = 0.0;
@@ -30,30 +43,42 @@ class ContainerPool {
 
   /// Takes a container for `func` at time `now`: reuses a warm one when
   /// available (and not expired), otherwise reports a cold start.
-  Acquisition acquire(FunctionId func, SimTime now);
+  Acquisition acquire(FunctionId func, SimTime now) LIBRA_EXCLUDES(mu_);
 
   /// Returns a container to the warm set at time `now`.
-  void release(FunctionId func, SimTime now);
+  void release(FunctionId func, SimTime now) LIBRA_EXCLUDES(mu_);
 
   /// Number of currently warm (non-expired) containers for `func`.
-  int warm_count(FunctionId func, SimTime now) const;
+  int warm_count(FunctionId func, SimTime now) const LIBRA_EXCLUDES(mu_);
 
   /// Drops every warm container (node crash: the container runtime state is
   /// gone). Start counters are cumulative and survive.
-  void clear() { warm_.clear(); }
+  void clear() LIBRA_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    warm_.clear();
+  }
 
-  long total_cold_starts() const { return cold_starts_; }
-  long total_warm_starts() const { return warm_starts_; }
+  long total_cold_starts() const LIBRA_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    return cold_starts_;
+  }
+  long total_warm_starts() const LIBRA_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    return warm_starts_;
+  }
 
  private:
-  void evict_expired(std::vector<SimTime>& stack, SimTime now) const;
+  void evict_expired_locked(std::vector<SimTime>& stack, SimTime now) const
+      LIBRA_REQUIRES(mu_);
 
   ContainerPoolConfig cfg_;
+  mutable util::Mutex mu_;
   /// Per function: stack of pause timestamps of warm containers (LIFO reuse
   /// keeps the most recently used container hottest).
-  std::unordered_map<FunctionId, std::vector<SimTime>> warm_;
-  long cold_starts_ = 0;
-  long warm_starts_ = 0;
+  std::unordered_map<FunctionId, std::vector<SimTime>> warm_
+      LIBRA_GUARDED_BY(mu_);
+  long cold_starts_ LIBRA_GUARDED_BY(mu_) = 0;
+  long warm_starts_ LIBRA_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace libra::sim

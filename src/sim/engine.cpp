@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "util/audit.h"
 #include "util/log.h"
 #include "util/rng.h"
 
@@ -62,6 +63,18 @@ Invocation& Engine::invocation(InvocationId id) {
 bool Engine::invocation_alive(InvocationId id) const {
   auto it = invocations_.find(id);
   return it != invocations_.end() && !it->second.done;
+}
+
+std::vector<InvocationId> Engine::placed_invocations() const {
+  std::vector<InvocationId> out(placed_.begin(), placed_.end());
+  std::sort(out.begin(), out.end());  // set order is not deterministic
+  return out;
+}
+
+void Engine::notify_audit(const char* what) {
+  ++audit_event_id_;
+  util::audit::set_context(audit_event_id_, now());
+  if (cfg_.audit_hook) cfg_.audit_hook->on_engine_event(*this, what, audit_event_id_);
 }
 
 RunMetrics Engine::run(std::vector<Invocation> trace) {
@@ -145,6 +158,7 @@ void Engine::on_arrival(InvocationId id) {
   Invocation& inv = invocation(id);
   inv.t_frontend_done = now() + cfg_.frontend_delay;
   queue_.schedule(inv.t_frontend_done, [this, id] { on_profiled(id); });
+  notify_audit("arrival");
 }
 
 void Engine::on_profiled(InvocationId id) {
@@ -216,9 +230,11 @@ void Engine::try_place(InvocationId id) {
       !node(chosen).try_reserve(inv.shard, inv.user_alloc)) {
     ++inv.retry_count;
     waiting_.push_back(id);
+    notify_audit("park");
     return;
   }
   inv.node = chosen;
+  placed_.insert(id);
   inv.t_sched_done = now();
   record_series();
 
@@ -230,9 +246,11 @@ void Engine::try_place(InvocationId id) {
     ++metrics_.cold_start_failures;
     node(chosen).release(inv.shard, inv.user_alloc);
     inv.node = kNoNode;
+    placed_.erase(id);
     record_series();
     // The failure only surfaces after the attempted creation time.
     retry_or_lose(inv, acq.delay);
+    notify_audit("cold_start_failure");
     return;
   }
 
@@ -243,6 +261,7 @@ void Engine::try_place(InvocationId id) {
   const uint64_t epoch = ++inv.placement_epoch;
   queue_.schedule(inv.t_pool_done + acq.delay,
                   [this, id, epoch] { begin_execution(id, epoch); });
+  notify_audit("placement");
 }
 
 void Engine::begin_execution(InvocationId id, uint64_t epoch) {
@@ -261,6 +280,7 @@ void Engine::begin_execution(InvocationId id, uint64_t epoch) {
     inv.monitor_event = queue_.schedule_after(
         cfg_.monitor_interval, [this, id] { monitor_tick(id); });
   }
+  notify_audit("exec_start");
 }
 
 void Engine::schedule_progress_events(Invocation& inv) {
@@ -379,6 +399,7 @@ void Engine::monitor_tick(InvocationId id) {
     inv.monitor_event = queue_.schedule_after(
         cfg_.monitor_interval, [this, id] { monitor_tick(id); });
   }
+  notify_audit("monitor");
 }
 
 void Engine::handle_oom(InvocationId id, uint64_t generation) {
@@ -402,6 +423,7 @@ void Engine::handle_oom(InvocationId id, uint64_t generation) {
     if (v.done || next_gen != v.completion_generation) return;
     schedule_progress_events(v);
   });
+  notify_audit("oom");
 }
 
 void Engine::handle_completion(InvocationId id, uint64_t generation) {
@@ -420,6 +442,7 @@ void Engine::handle_completion(InvocationId id, uint64_t generation) {
   n.invocation_finished();
   n.containers().release(inv.func, now());
   n.release(inv.shard, inv.user_alloc + inv.probe_extra);
+  placed_.erase(id);
   record_series();
 
   policy_->on_complete(inv, *this);
@@ -428,6 +451,7 @@ void Engine::handle_completion(InvocationId id, uint64_t generation) {
   metrics_.makespan_end = std::max(metrics_.makespan_end, now());
   finalize_record(inv);
   retry_waiting();
+  notify_audit("completion");
 }
 
 void Engine::retry_waiting() {
@@ -475,6 +499,7 @@ void Engine::health_ping(NodeId node_id) {
     queue_.schedule_after(cfg_.health_ping_interval,
                           [this, node_id] { health_ping(node_id); });
   }
+  notify_audit("health_ping");
 }
 
 bool Engine::node_suspected_down(NodeId id) const {
@@ -503,6 +528,7 @@ void Engine::on_node_down(NodeId node_id) {
   n.containers().clear();
   n.check_quiescent();
   record_series();
+  notify_audit("node_down");
 }
 
 void Engine::on_node_up(NodeId node_id) {
@@ -517,6 +543,7 @@ void Engine::on_node_up(NodeId node_id) {
   // purpose, so schedulers keep avoiding it for up to one ping interval.
   policy_->on_node_up(node_id, *this);
   retry_waiting();
+  notify_audit("node_up");
 }
 
 void Engine::kill_invocation(InvocationId id) {
@@ -537,6 +564,7 @@ void Engine::kill_invocation(InvocationId id) {
   Node& n = node(inv.node);
   if (inv.running) n.invocation_finished();
   n.release(inv.shard, inv.user_alloc + inv.probe_extra);
+  placed_.erase(id);
   // Whatever was harvested from / lent to it died with the node; the policy
   // already reconciled its pool state in on_node_down.
   inv.running = false;
@@ -572,6 +600,7 @@ void Engine::requeue_after_fault(InvocationId id) {
   inv.t_sched_enqueue = now();  // placement timeout restarts per attempt
   shard_queues_[static_cast<size_t>(inv.shard)].push_back(id);
   pump_shard(inv.shard);
+  notify_audit("requeue");
 }
 
 void Engine::lose_invocation(Invocation& inv) {

@@ -15,8 +15,10 @@
 #include <deque>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "sim/audit_hook.h"
 #include "sim/event_queue.h"
 #include "sim/execution_model.h"
 #include "sim/fault/fault_injector.h"
@@ -61,6 +63,11 @@ struct EngineConfig {
   double suspect_after_missed_pings = 3.0;
   /// Sampled churn extends this far past the last trace arrival.
   double churn_horizon_pad = 120.0;
+
+  /// Invariant auditor (src/analysis) notified after every dispatched event.
+  /// Non-owning; nullptr disables the cross-layer checks (the pool-internal
+  /// conservation audits still run).
+  EngineAuditHook* audit_hook = nullptr;
 };
 
 class Engine final : public EngineApi {
@@ -83,6 +90,7 @@ class Engine final : public EngineApi {
   Resources observed_usage(InvocationId id) const override;
   Resources observed_peak(InvocationId id) const override;
   bool node_suspected_down(NodeId id) const override;
+  std::vector<InvocationId> placed_invocations() const override;
 
  private:
   void on_arrival(InvocationId id);
@@ -112,6 +120,9 @@ class Engine final : public EngineApi {
   /// Declares parked invocations lost once they exceed placement_timeout.
   void expire_overdue_waiting();
   bool fault_active() const { return fault_ && fault_->active(); }
+  /// Stamps the audit context (event id, sim time) and runs the configured
+  /// audit hook. Called at the end of every event handler.
+  void notify_audit(const char* what);
   void fold_progress(Invocation& inv);
   void refresh_usage(const Invocation& inv, bool starting, bool stopping);
   void record_series();
@@ -127,6 +138,11 @@ class Engine final : public EngineApi {
   std::unique_ptr<fault::FaultInjector> fault_;  // built in run()
   std::vector<SimTime> last_ping_delivered_;     // controller health view
   std::vector<SimTime> down_since_;              // crash time per down node
+
+  /// Live invocations currently holding a node reservation; kept in lockstep
+  /// with try_reserve/release so audits stay O(placed), not O(all ever run).
+  std::unordered_set<InvocationId> placed_;
+  long audit_event_id_ = 0;
 
   std::vector<std::deque<InvocationId>> shard_queues_;
   std::vector<SimTime> shard_busy_until_;

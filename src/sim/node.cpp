@@ -1,7 +1,8 @@
 #include "sim/node.h"
 
-#include <cassert>
 #include <stdexcept>
+
+#include "util/audit.h"
 
 namespace libra::sim {
 
@@ -51,14 +52,22 @@ void Node::invocation_finished() {
 }
 
 void Node::check_quiescent() const {
-#ifndef NDEBUG
-  assert(running_ == 0 && "Node: invocations survived the crash reap");
-  assert(allocated_total_.cpu < 1e-6 && allocated_total_.mem < 1e-3 &&
-         "Node: reservations survived the crash reap");
-  for (const auto& s : shard_allocated_)
-    assert(s.cpu < 1e-6 && s.mem < 1e-3 &&
-           "Node: shard reserve/release asymmetry");
-#endif
+  LIBRA_AUDIT_CHECK(running_ == 0,
+                    "invocations survived the crash reap: node=" << id_
+                        << " running=" << running_ << " allocated_total="
+                        << allocated_total_.to_string());
+  LIBRA_AUDIT_CHECK(allocated_total_.cpu < 1e-6 && allocated_total_.mem < 1e-3,
+                    "reservations survived the crash reap: node=" << id_
+                        << " allocated_total=" << allocated_total_.to_string()
+                        << " running=" << running_);
+  for (size_t s = 0; s < shard_allocated_.size(); ++s) {
+    LIBRA_AUDIT_CHECK(
+        shard_allocated_[s].cpu < 1e-6 && shard_allocated_[s].mem < 1e-3,
+        "shard reserve/release asymmetry: node="
+            << id_ << " shard=" << s << " surviving_share="
+            << shard_allocated_[s].to_string() << " allocated_total="
+            << allocated_total_.to_string());
+  }
 }
 
 }  // namespace libra::sim

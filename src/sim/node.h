@@ -53,9 +53,10 @@ class Node {
   bool up() const { return up_; }
   void set_up(bool up) { up_ = up; }
 
-  /// Debug-build assertion of reservation/release symmetry: after the engine
-  /// reaps a crashed node, nothing may remain reserved or running. No-op in
-  /// release builds.
+  /// Audits reservation/release symmetry: after the engine reaps a crashed
+  /// node, nothing may remain reserved or running. Always compiled in; a
+  /// violation aborts with a LIBRA_AUDIT_CHECK diagnostic naming the node,
+  /// its allocated totals and the surviving per-shard shares.
   void check_quiescent() const;
 
   ContainerPool& containers() { return containers_; }

@@ -58,6 +58,11 @@ class EngineApi {
     (void)node;
     return false;
   }
+
+  /// Invocations currently holding a node reservation (live, placed), in
+  /// ascending id order. The invariant auditor sums their user allocations
+  /// (plus probe extras) against each node's allocated totals.
+  virtual std::vector<InvocationId> placed_invocations() const { return {}; }
 };
 
 /// Aggregate counters a policy reports at the end of a run (consumed by the

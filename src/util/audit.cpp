@@ -1,0 +1,64 @@
+#include "util/audit.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+
+namespace libra::util::audit {
+
+namespace {
+std::atomic<long> g_event_id{-1};
+std::atomic<double> g_sim_time{-1.0};
+std::atomic<long> g_failures{0};
+std::mutex g_handler_mutex;
+FailureHandler g_handler;  // guarded by g_handler_mutex
+}  // namespace
+
+std::string Diagnostic::to_string() const {
+  std::ostringstream os;
+  os << "[AUDIT] invariant violated: " << check << "\n"
+     << "  at " << (file ? file : "?") << ":" << line << "\n"
+     << "  detail: " << detail << "\n"
+     << "  event_id=" << event_id << " sim_time=" << sim_time;
+  return os.str();
+}
+
+FailureHandler set_failure_handler(FailureHandler handler) {
+  std::lock_guard<std::mutex> lock(g_handler_mutex);
+  FailureHandler prev = std::move(g_handler);
+  g_handler = std::move(handler);
+  return prev;
+}
+
+void set_context(long event_id, double sim_time) {
+  g_event_id.store(event_id, std::memory_order_relaxed);
+  g_sim_time.store(sim_time, std::memory_order_relaxed);
+}
+
+long failures_observed() { return g_failures.load(std::memory_order_relaxed); }
+
+void fail(const char* file, int line, const char* check,
+          const std::string& detail) {
+  g_failures.fetch_add(1, std::memory_order_relaxed);
+  Diagnostic diag;
+  diag.file = file;
+  diag.line = line;
+  diag.check = check;
+  diag.detail = detail;
+  diag.event_id = g_event_id.load(std::memory_order_relaxed);
+  diag.sim_time = g_sim_time.load(std::memory_order_relaxed);
+  FailureHandler handler;
+  {
+    std::lock_guard<std::mutex> lock(g_handler_mutex);
+    handler = g_handler;
+  }
+  if (handler) {
+    handler(diag);
+    return;
+  }
+  std::cerr << diag.to_string() << std::endl;
+  std::abort();
+}
+
+}  // namespace libra::util::audit

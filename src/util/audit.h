@@ -1,0 +1,66 @@
+// Always-available invariant checks with structured diagnostics. Unlike the
+// bare `assert` (compiled out in release builds, prints only the expression),
+// LIBRA_AUDIT_CHECK stays live in every build type and reports *state*: the
+// engine stamps a global audit context (event id, sim time) as it dispatches
+// events, and each failed check prints that context plus a caller-supplied
+// description of the offending entry before aborting. The invariant auditor
+// (src/analysis) and the resource-accounting guards in sim/ are built on it.
+//
+// Tests can install a failure handler to observe violations without dying —
+// that is how the negative tests prove the auditor actually fires.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace libra::util::audit {
+
+/// Everything known about one failed invariant check.
+struct Diagnostic {
+  const char* file = nullptr;
+  int line = 0;
+  std::string check;   // the failed condition, verbatim
+  std::string detail;  // offending entry: ids, volumes, expiries
+  long event_id = -1;  // engine event counter (-1: outside the event loop)
+  double sim_time = -1.0;  // sim clock at failure (-1: outside the event loop)
+
+  /// The "[AUDIT] ..." line as printed to stderr.
+  std::string to_string() const;
+};
+
+using FailureHandler = std::function<void(const Diagnostic&)>;
+
+/// Replaces the abort-on-failure behaviour; passing nullptr restores it.
+/// Returns the previous handler. Not thread-safe against concurrent fail();
+/// install before spawning workers (tests only).
+FailureHandler set_failure_handler(FailureHandler handler);
+
+/// Engine-maintained context stamped into diagnostics (cheap atomic stores;
+/// called once per dispatched event).
+void set_context(long event_id, double sim_time);
+
+/// Number of failed checks observed since process start (only visible past 1
+/// when a failure handler suppresses the abort).
+long failures_observed();
+
+/// Reports one failed check: builds the Diagnostic, then either invokes the
+/// installed handler or prints to stderr and aborts.
+void fail(const char* file, int line, const char* check,
+          const std::string& detail);
+
+}  // namespace libra::util::audit
+
+/// LIBRA_AUDIT_CHECK(cond, detail << streamed << parts)
+/// Always compiled in. On violation, reports the condition text, the
+/// streamed detail, and the current audit context, then aborts (or calls the
+/// installed failure handler).
+#define LIBRA_AUDIT_CHECK(cond, ...)                                 \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      std::ostringstream libra_audit_os_;                            \
+      libra_audit_os_ << __VA_ARGS__;                                \
+      ::libra::util::audit::fail(__FILE__, __LINE__, #cond,          \
+                                 libra_audit_os_.str());             \
+    }                                                                \
+  } while (0)

@@ -2,13 +2,20 @@
 
 #include <atomic>
 #include <iostream>
-#include <mutex>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace libra::util {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
-std::mutex g_io_mutex;
+/// Serializes whole lines onto stderr (the log sink): concurrent monitor /
+/// scheduler threads must not interleave characters.
+Mutex g_io_mutex;
+/// Lines written to the sink so far; guarded state makes the sink's lock
+/// discipline checkable by -Wthread-safety.
+long g_lines_written LIBRA_GUARDED_BY(g_io_mutex) = 0;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -36,8 +43,9 @@ LogLevel log_level() {
 
 void log_line(LogLevel level, const std::string& msg) {
   if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) return;
-  std::lock_guard<std::mutex> lock(g_io_mutex);
+  MutexLock lock(g_io_mutex);
   std::cerr << "[" << level_name(level) << "] " << msg << "\n";
+  ++g_lines_written;
 }
 
 }  // namespace libra::util

@@ -1,0 +1,250 @@
+// The audit framework, the node quiescence checks and the invariant auditor
+// — including the NEGATIVE tests: seeded violations must actually fire. A
+// scoped failure handler observes the diagnostics instead of aborting (death
+// tests are fragile under TSan), so every test here runs under every
+// sanitizer configuration.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "analysis/invariant_auditor.h"
+#include "core/harvest_pool.h"
+#include "core/libra_policy.h"
+#include "core/profiler.h"
+#include "exp/runner.h"
+#include "sim/engine.h"
+#include "sim/node.h"
+#include "util/audit.h"
+#include "workload/function_catalog.h"
+#include "workload/trace.h"
+
+namespace libra {
+namespace {
+
+using sim::Resources;
+
+/// Scoped failure handler: collects diagnostics instead of aborting, and
+/// restores the previous handler (normally "abort") on destruction.
+class AuditCapture {
+ public:
+  AuditCapture() {
+    prev_ = util::audit::set_failure_handler(
+        [this](const util::audit::Diagnostic& d) { diags_.push_back(d); });
+  }
+  ~AuditCapture() { util::audit::set_failure_handler(std::move(prev_)); }
+  AuditCapture(const AuditCapture&) = delete;
+  AuditCapture& operator=(const AuditCapture&) = delete;
+
+  const std::vector<util::audit::Diagnostic>& diags() const { return diags_; }
+  bool fired() const { return !diags_.empty(); }
+
+ private:
+  util::audit::FailureHandler prev_;
+  std::vector<util::audit::Diagnostic> diags_;
+};
+
+std::shared_ptr<const sim::FunctionCatalog> catalog() {
+  static auto cat =
+      std::make_shared<const sim::FunctionCatalog>(workload::sebs_catalog());
+  return cat;
+}
+
+std::shared_ptr<core::LibraPolicy> make_libra_policy() {
+  core::ProfilerConfig pcfg;
+  auto profiler = std::make_shared<core::Profiler>(pcfg, catalog());
+  profiler->prewarm(*catalog(), 1234, 30);
+  return core::LibraPolicy::with_coverage_scheduler(core::LibraPolicyConfig{},
+                                                    profiler);
+}
+
+// ---------------------------------------------------------------------------
+// Framework
+// ---------------------------------------------------------------------------
+
+TEST(AuditFramework, PassingCheckReportsNothing) {
+  AuditCapture capture;
+  LIBRA_AUDIT_CHECK(1 + 1 == 2, "never printed");
+  EXPECT_FALSE(capture.fired());
+}
+
+TEST(AuditFramework, DiagnosticCarriesContextAndDetail) {
+  AuditCapture capture;
+  util::audit::set_context(42, 3.5);
+  const int entry = 7;
+  LIBRA_AUDIT_CHECK(entry < 0, "offending entry " << entry << " (cpu 2)");
+  util::audit::set_context(-1, -1.0);
+
+  ASSERT_EQ(capture.diags().size(), 1u);
+  const auto& d = capture.diags()[0];
+  EXPECT_EQ(d.event_id, 42);
+  EXPECT_DOUBLE_EQ(d.sim_time, 3.5);
+  EXPECT_EQ(d.check, "entry < 0");
+  EXPECT_EQ(d.detail, "offending entry 7 (cpu 2)");
+  EXPECT_NE(d.to_string().find("invariant violated"), std::string::npos);
+  EXPECT_NE(d.to_string().find("event_id=42"), std::string::npos);
+}
+
+TEST(AuditFramework, FailureCounterAdvances) {
+  AuditCapture capture;
+  const long before = util::audit::failures_observed();
+  LIBRA_AUDIT_CHECK(false, "counted");
+  EXPECT_EQ(util::audit::failures_observed(), before + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Node quiescence (the former bare asserts in node.cpp)
+// ---------------------------------------------------------------------------
+
+TEST(NodeAudit, QuiescentNodePasses) {
+  sim::Node node(0, {8.0, 8192.0}, /*num_shards=*/2);
+  AuditCapture capture;
+  node.check_quiescent();
+  EXPECT_FALSE(capture.fired());
+}
+
+TEST(NodeAudit, LeftoverReservationFiresWithNodeState) {
+  sim::Node node(3, {8.0, 8192.0}, /*num_shards=*/2);
+  ASSERT_TRUE(node.try_reserve(1, {2.0, 512.0}));
+  AuditCapture capture;
+  node.check_quiescent();
+  ASSERT_TRUE(capture.fired());
+  // The diagnostic must name the node and its surviving allocation.
+  const auto& d = capture.diags()[0];
+  EXPECT_NE(d.detail.find("node=3"), std::string::npos) << d.detail;
+  EXPECT_NE(d.detail.find("2"), std::string::npos) << d.detail;
+}
+
+TEST(NodeAudit, LeftoverRunningCountFires) {
+  sim::Node node(5, {8.0, 8192.0}, 1);
+  node.invocation_started();
+  AuditCapture capture;
+  node.check_quiescent();
+  EXPECT_TRUE(capture.fired());
+}
+
+// ---------------------------------------------------------------------------
+// Negative tests: seeded pool violations must fire
+// ---------------------------------------------------------------------------
+
+TEST(AuditNegative, SeededConservationViolationFiresOnAuditNow) {
+  core::HarvestResourcePool pool;
+  pool.put(1, {2.0, 256.0}, 10.0, 0.0);
+  pool.corrupt_for_audit_test(1, {1.0, 0.0});  // idle grows, ledger does not
+
+  AuditCapture capture;
+  pool.audit_now(1.0);
+  ASSERT_TRUE(capture.fired());
+  EXPECT_NE(capture.diags()[0].detail.find("source=1"), std::string::npos)
+      << capture.diags()[0].detail;
+}
+
+TEST(AuditNegative, SeededViolationCaughtByNextMutation) {
+  core::HarvestResourcePool pool;
+  pool.put(1, {2.0, 256.0}, 10.0, 0.0);
+  pool.corrupt_for_audit_test(1, {0.5, 0.0});
+
+  AuditCapture capture;
+  // Any mutating operation re-runs the conservation audit.
+  pool.put(2, {1.0, 64.0}, 20.0, 1.0);
+  EXPECT_TRUE(capture.fired());
+}
+
+TEST(AuditNegative, HealthyPoolNeverFires) {
+  core::HarvestResourcePool pool;
+  AuditCapture capture;
+  pool.put(1, {2.0, 256.0}, 10.0, 0.0);
+  pool.get({1.0, 128.0}, 9, 0.5);
+  pool.reharvest(9, 1.0);
+  pool.preempt_source(1, 2.0);
+  pool.audit_now(3.0);
+  EXPECT_FALSE(capture.fired());
+}
+
+// ---------------------------------------------------------------------------
+// InvariantAuditor: pool-event path
+// ---------------------------------------------------------------------------
+
+TEST(InvariantAuditor, ObservesEveryPoolMutation) {
+  analysis::InvariantAuditor auditor;
+  core::HarvestResourcePool pool;
+  pool.set_event_listener(&auditor);
+
+  AuditCapture capture;
+  pool.put(1, {2.0, 256.0}, 10.0, 0.0);
+  pool.get({1.0, 128.0}, 9, 0.5);
+  pool.reharvest(9, 1.0);
+  pool.preempt_source(1, 2.0);
+  EXPECT_EQ(auditor.stats().pool_events, 4);
+  EXPECT_FALSE(capture.fired());
+}
+
+TEST(InvariantAuditor, ListenerAttachesToFuturePools) {
+  analysis::InvariantAuditor auditor;
+  auto policy = make_libra_policy();
+  auditor.attach_policy(policy.get());
+  // The pool for node 0 does not exist yet; it is created on first access
+  // and must come back with the listener already installed.
+  AuditCapture capture;
+  policy->pool(0).put(1, {1.0, 128.0}, 5.0, 0.0);
+  EXPECT_EQ(auditor.stats().pool_events, 1);
+  EXPECT_FALSE(capture.fired());
+}
+
+// ---------------------------------------------------------------------------
+// InvariantAuditor: engine-sweep path
+// ---------------------------------------------------------------------------
+
+TEST(InvariantAuditor, SweepsEveryEngineEventInLibraRun) {
+  analysis::InvariantAuditor auditor;
+  auto policy = make_libra_policy();
+  auditor.attach_policy(policy.get());
+
+  auto cfg = exp::single_node_config();
+  cfg.audit_hook = &auditor;
+
+  const long failures_before = util::audit::failures_observed();
+  sim::Engine engine(cfg, policy);
+  auto m = engine.run(workload::single_node_trace(*catalog(), 7));
+  EXPECT_EQ(m.incomplete, 0);
+  EXPECT_EQ(util::audit::failures_observed(), failures_before);
+
+  // every_n defaults to 1: every dispatched event is swept, and a Libra run
+  // mutates pools so the listener path fired too.
+  EXPECT_GT(auditor.stats().engine_events, 0);
+  EXPECT_EQ(auditor.stats().sweeps, auditor.stats().engine_events);
+  EXPECT_GT(auditor.stats().pool_events, 0);
+}
+
+TEST(InvariantAuditor, SamplingHonorsEveryN) {
+  analysis::InvariantAuditorConfig cfg;
+  cfg.every_n = 5;
+  analysis::InvariantAuditor auditor(cfg);
+  auto policy = make_libra_policy();
+  auditor.attach_policy(policy.get());
+
+  auto engine_cfg = exp::single_node_config();
+  engine_cfg.audit_hook = &auditor;
+  sim::Engine engine(engine_cfg, policy);
+  engine.run(workload::single_node_trace(*catalog(), 11));
+
+  ASSERT_GT(auditor.stats().engine_events, 10);
+  EXPECT_LT(auditor.stats().sweeps, auditor.stats().engine_events);
+  // Exactly the events whose id is a multiple of 5.
+  EXPECT_NEAR(static_cast<double>(auditor.stats().sweeps),
+              static_cast<double>(auditor.stats().engine_events) / 5.0, 1.0);
+}
+
+TEST(InvariantAuditor, RunExperimentWiresAuditorByDefault) {
+  // exp::run_experiment installs the auditor on every run; a healthy run
+  // must complete without a single audit failure.
+  const long failures_before = util::audit::failures_observed();
+  auto m = exp::run_experiment(exp::single_node_config(), make_libra_policy(),
+                               workload::single_node_trace(*catalog(), 7));
+  EXPECT_EQ(m.incomplete, 0);
+  EXPECT_EQ(util::audit::failures_observed(), failures_before);
+}
+
+}  // namespace
+}  // namespace libra
