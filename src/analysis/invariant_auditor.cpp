@@ -146,6 +146,23 @@ void InvariantAuditor::sweep(sim::EngineApi& api, const char* what) const {
                    << " which is completed or gone (source " << b.source
                    << ")");
     }
+    // Quarantine invariant (trust circuit breaker): a function demoted to
+    // the OPEN tier must have had every harvest sourced from its running
+    // invocations pulled back — the pool holds nothing it contributed.
+    if (const auto* trust = policy_->trust_manager()) {
+      for (const auto& e : st.entries) {
+        if (!api.invocation_alive(e.source)) continue;
+        const auto func = api.invocation(e.source).func;
+        LIBRA_AUDIT_CHECK(
+            !trust->quarantined(func, api.now()),
+            "after " << what << ": pool of node " << node_id
+                     << " holds an entry sourced from invocation " << e.source
+                     << " of QUARANTINED function " << func
+                     << " (idle cpu " << e.idle.cpu << ", mem " << e.idle.mem
+                     << ") — quarantined functions must never be harvest "
+                        "sources");
+      }
+    }
     if (static_cast<size_t>(node_id) < api.nodes().size() &&
         !api.nodes()[static_cast<size_t>(node_id)].up()) {
       LIBRA_AUDIT_CHECK(st.entries.empty() && st.borrows.empty(),

@@ -11,7 +11,8 @@
 //   invocation is alive and references a real node; each node's allocated
 //   totals equal the sum of its placed invocations' reservations
 //   (user_alloc + probe_extra); no pool grant references a completed source
-//   or a borrower that is gone; a down node's pool is empty.
+//   or a borrower that is gone; a down node's pool is empty; no pool entry
+//   is sourced from a function the trust circuit breaker has quarantined.
 //
 // A violation aborts through LIBRA_AUDIT_CHECK with a structured diagnostic
 // carrying the engine event id and sim time (stamped by Engine::notify_audit

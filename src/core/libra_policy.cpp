@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/predictor_fault.h"
 #include "util/log.h"
 
 namespace libra::core {
@@ -20,6 +21,14 @@ LibraPolicy::LibraPolicy(LibraPolicyConfig cfg, PredictorPtr predictor,
   if (!predictor_) throw std::invalid_argument("LibraPolicy: null predictor");
   if (!scheduler_) throw std::invalid_argument("LibraPolicy: null scheduler");
   profiler_hook_ = dynamic_cast<Profiler*>(predictor_.get());
+  if (profiler_hook_ == nullptr) {
+    // Look through a fault-injection wrapper: the wrapper corrupts what the
+    // prediction service SERVES, but the per-function mitigation hooks
+    // (mem-strike blocks, histogram fallback) still talk to the real model.
+    if (auto* faulty = dynamic_cast<FaultyPredictor*>(predictor_.get()))
+      profiler_hook_ = dynamic_cast<Profiler*>(&faulty->inner());
+  }
+  if (cfg_.trust_enabled) trust_ = std::make_unique<TrustManager>(cfg_.trust);
 }
 
 std::shared_ptr<LibraPolicy> LibraPolicy::with_coverage_scheduler(
@@ -77,6 +86,34 @@ void LibraPolicy::predict(Invocation& inv) {
       suppress_next_.erase(it);
     }
   }
+  if (!trust_) return;
+  // The model keeps being scored even while it is not trusted to SERVE:
+  // stash its raw output so on_complete can measure it against the observed
+  // peak, enabling re-promotion while the invocation runs safely padded.
+  // predict() has no clock, so trust state is evaluated at arrival time.
+  raw_pred_[inv.id] = inv.pred_demand;
+  switch (trust_->state(inv.func, inv.arrival)) {
+    case TrustState::kClosed:
+      break;
+    case TrustState::kOpen:
+      // Quarantine tier: no model serving at all. Demand padded to the full
+      // user allocation; plan_allocation additionally skips harvesting.
+      inv.pred_demand = inv.user_alloc;
+      inv.pred_size_related = false;
+      inv.profiling_probe = false;
+      break;
+    case TrustState::kHalfOpen:
+      // Probation tier: serve from the §4.3.2 histogram fallback path while
+      // the model earns back its clean streak.
+      if (profiler_hook_ != nullptr) {
+        profiler_hook_->predict_fallback(inv);
+      } else {
+        inv.pred_demand = inv.user_alloc;
+        inv.pred_size_related = false;
+      }
+      inv.profiling_probe = false;
+      break;
+  }
 }
 
 NodeId LibraPolicy::select_node(Invocation& inv, EngineApi& api) {
@@ -102,7 +139,16 @@ AllocationPlan LibraPolicy::plan_allocation(Invocation& inv, EngineApi& api) {
   auto& pool = pool_for(inv.node);
   Resources effective = inv.user_alloc;
 
-  if (inv.profiling_probe) {
+  // OOM graceful degradation: a rescued re-dispatch runs untouched at its
+  // full user allocation — no probes, no harvesting, no borrowed grants.
+  if (inv.oom_protected) return {effective};
+
+  // Quarantine can have tripped between arrival (predict) and placement;
+  // re-check with the placement clock. A quarantined function is never a
+  // harvest source and never probes.
+  const bool quarantined = trust_ && trust_->quarantined(inv.func, api.now());
+
+  if (inv.profiling_probe && !quarantined) {
     // Black-box profiling window: allocate up to the platform max straight
     // from node free capacity so the monitor can observe the true peaks.
     const Resources extra =
@@ -123,15 +169,22 @@ AllocationPlan LibraPolicy::plan_allocation(Invocation& inv, EngineApi& api) {
       mem_strikes_[inv.func] >= cfg_.max_mem_safeguard_strikes;
 
   // ---- Harvest (per axis where the prediction leaves slack) ----
+  // With the trust layer on, the static harvest_headroom is replaced by a
+  // per-function adaptive margin tracking the model's recent p95 relative
+  // under-prediction (widened by safeguard/OOM strikes, decaying back).
+  const double margin = trust_ ? trust_->harvest_margin(inv.func, api.now())
+                               : cfg_.harvest_headroom;
+  if (trust_ && !quarantined) stats_.harvest_margin_samples.push_back(margin);
   Resources target;
-  target.cpu = std::max(cfg_.min_cpu_floor,
-                        inv.pred_demand.cpu * (1.0 + cfg_.harvest_headroom));
-  target.mem = std::max(cfg_.min_mem_floor,
-                        inv.pred_demand.mem * (1.0 + cfg_.harvest_headroom));
+  target.cpu =
+      std::max(cfg_.min_cpu_floor, inv.pred_demand.cpu * (1.0 + margin));
+  target.mem =
+      std::max(cfg_.min_mem_floor, inv.pred_demand.mem * (1.0 + margin));
   Resources harvest;
   harvest.cpu = std::max(0.0, inv.user_alloc.cpu - target.cpu);
   harvest.mem =
       mem_harvest_blocked ? 0.0 : std::max(0.0, inv.user_alloc.mem - target.mem);
+  if (quarantined) harvest = {0.0, 0.0};
   if (!harvest.is_zero()) {
     effective -= harvest;
     const double est_dur = predicted_exec_time(inv, effective, api);
@@ -253,6 +306,8 @@ void LibraPolicy::on_monitor(Invocation& inv, EngineApi& api) {
     ++mem_strikes_[inv.func];
     if (profiler_hook_) profiler_hook_->record_mem_safeguard_strike(inv.func);
   }
+  if (trust_ && trust_->record_safeguard(inv.func, api.now()))
+    enforce_quarantine(inv.func, api);
   if (cfg_.preemptive_release_on_safeguard) {
     preemptive_release(inv, api, /*restore_allocation=*/true);
   } else {
@@ -305,6 +360,22 @@ void LibraPolicy::on_complete(Invocation& inv, EngineApi& api) {
     ++stats_.reharvests;
   }
   backfill_candidates_[inv.node].erase(inv.id);
+  // Score the raw model output against the observed peak (max relative
+  // under-prediction across the two axes). A clean completion shortens the
+  // strike count / probation streak; a bad one strikes, possibly demoting.
+  if (trust_) {
+    const Resources peak = api.observed_peak(inv.id);
+    Resources raw = inv.pred_demand;
+    if (auto it = raw_pred_.find(inv.id); it != raw_pred_.end()) {
+      raw = it->second;
+      raw_pred_.erase(it);
+    }
+    const double rel =
+        std::max((peak.cpu - raw.cpu) / std::max(raw.cpu, 1e-9),
+                 (peak.mem - raw.mem) / std::max(raw.mem, 1e-9));
+    if (trust_->record_completion(inv.func, rel, api.now()))
+      enforce_quarantine(inv.func, api);
+  }
   // Step 5: feed actual utilization back into the profiling models.
   Observation obs;
   obs.func = inv.func;
@@ -318,9 +389,44 @@ void LibraPolicy::on_oom(Invocation& inv, EngineApi& api) {
   last_seen_now_ = api.now();
   ++mem_strikes_[inv.func];
   if (profiler_hook_) profiler_hook_->record_mem_safeguard_strike(inv.func);
+  // An OOM kill is the strongest misprediction signal there is.
+  if (trust_ && trust_->record_oom(inv.func, api.now()))
+    enforce_quarantine(inv.func, api);
   // The platform forcibly returns harvested resources on an OOM kill; the
   // engine then restarts the container with the user allocation.
   preemptive_release(inv, api, /*restore_allocation=*/false);
+}
+
+void LibraPolicy::on_evicted(Invocation& inv, EngineApi& api) {
+  last_seen_now_ = api.now();
+  // The engine is tearing this invocation off a LIVE node (OOM graceful
+  // degradation). Unlike on_node_down, the pool survives — so everything
+  // harvested FROM it must leave the pool (idle volume out, grants revoked)
+  // and every grant it BORROWED must go back to the pool it came from.
+  preemptive_release(inv, api, /*restore_allocation=*/false);
+  if (!inv.borrowed_in.is_zero()) {
+    pool_for(inv.node).reharvest(inv.id, api.now());
+    inv.borrowed_in = {0.0, 0.0};
+    ++stats_.reharvests;
+  }
+  backfill_candidates_[inv.node].erase(inv.id);
+  // raw_pred_ entry stays: the invocation is still alive and will be scored
+  // when its re-dispatch eventually completes.
+}
+
+void LibraPolicy::enforce_quarantine(sim::FunctionId func, EngineApi& api) {
+  // Sweep every running invocation of the demoted function and pull its
+  // harvests back (idle pool volume and grants lent to borrowers), restoring
+  // the full user allocation — the pool must hold nothing sourced from a
+  // quarantined function (checked by the invariant auditor).
+  auto ids = api.placed_invocations();
+  std::sort(ids.begin(), ids.end());
+  for (const auto id : ids) {
+    if (!api.invocation_alive(id)) continue;
+    Invocation& other = api.invocation(id);
+    if (other.func != func || other.harvested_out.is_zero()) continue;
+    preemptive_release(other, api, /*restore_allocation=*/true);
+  }
 }
 
 void LibraPolicy::on_health_ping(NodeId node, EngineApi& api) {
@@ -378,6 +484,11 @@ sim::PolicyStats LibraPolicy::stats() const {
     const auto ii = pool.idle_integrals(last_seen_now_);
     out.pool_idle_cpu_core_seconds += ii.cpu_core_seconds;
     out.pool_idle_mem_mb_seconds += ii.mem_mb_seconds;
+  }
+  if (trust_) {
+    out.trust_demotions = trust_->demotions();
+    out.trust_promotions = trust_->promotions();
+    out.quarantined_functions = trust_->quarantined_count(last_seen_now_);
   }
   return out;
 }

@@ -22,6 +22,7 @@
 #include "core/predictor.h"
 #include "core/profiler.h"
 #include "core/scheduler.h"
+#include "core/trust_manager.h"
 #include "sim/policy.h"
 
 namespace libra::core {
@@ -56,6 +57,15 @@ struct LibraPolicyConfig {
   /// makes mid-run grants cheap; keeping harvested resources busy is what
   /// Fig. 10's idle-time metric rewards). Freyr has no such mechanism.
   bool runtime_backfill = true;
+  /// Misprediction-resilience layer: per-function trust circuit breaker and
+  /// adaptive harvest margins (src/core/trust_manager). When enabled,
+  ///  - quarantined (OPEN) functions are never harvested and are served
+  ///    padded to their full user allocation,
+  ///  - HALF_OPEN functions fall back to the §4.3.2 histogram path,
+  ///  - the static harvest_headroom is replaced by a per-function margin
+  ///    tracking the p95 relative under-prediction of the live model.
+  bool trust_enabled = false;
+  TrustConfig trust;
 };
 
 class LibraPolicy final : public sim::Policy, public PoolStatusProvider {
@@ -76,6 +86,7 @@ class LibraPolicy final : public sim::Policy, public PoolStatusProvider {
   void on_monitor(sim::Invocation& inv, sim::EngineApi& api) override;
   void on_complete(sim::Invocation& inv, sim::EngineApi& api) override;
   void on_oom(sim::Invocation& inv, sim::EngineApi& api) override;
+  void on_evicted(sim::Invocation& inv, sim::EngineApi& api) override;
   void on_health_ping(sim::NodeId node, sim::EngineApi& api) override;
   void on_node_down(sim::NodeId node, sim::EngineApi& api) override;
   void on_node_up(sim::NodeId node, sim::EngineApi& api) override;
@@ -88,6 +99,12 @@ class LibraPolicy final : public sim::Policy, public PoolStatusProvider {
   HarvestResourcePool& pool(sim::NodeId node) { return pool_for(node); }
   const LibraPolicyConfig& config() const { return cfg_; }
   DemandPredictor& predictor() { return *predictor_; }
+  /// Trust circuit breaker; nullptr when cfg.trust_enabled is false. The
+  /// invariant auditor uses it to check that no pool entry is sourced from a
+  /// quarantined function.
+  const TrustManager* trust_manager() const { return trust_.get(); }
+  /// Mutable access for tests seeding trust-state violations.
+  TrustManager* trust_manager_for_test() { return trust_.get(); }
 
   /// Registers an observer on every per-node pool, current and future (the
   /// invariant auditor). Non-owning; install before the run starts.
@@ -111,6 +128,10 @@ class LibraPolicy final : public sim::Policy, public PoolStatusProvider {
                           bool restore_allocation);
   /// Tops up running under-provisioned invocations from the node's pool.
   void backfill_node(sim::NodeId node, sim::EngineApi& api);
+  /// A demotion just moved `func` to the quarantine tier: pull back every
+  /// live harvest sourced from its running invocations so the pool holds no
+  /// inventory from a function the platform no longer trusts.
+  void enforce_quarantine(sim::FunctionId func, sim::EngineApi& api);
   /// Single creation point for per-node pools: lazily constructs the pool
   /// and attaches the registered event listener.
   HarvestResourcePool& pool_for(sim::NodeId node);
@@ -127,6 +148,12 @@ class LibraPolicy final : public sim::Policy, public PoolStatusProvider {
   /// when the predictor is not the Libra profiler).
   Profiler* profiler_hook_ = nullptr;
   std::unordered_map<sim::FunctionId, int> mem_strikes_;
+  /// Trust circuit breaker + adaptive margins; null unless trust_enabled.
+  std::unique_ptr<TrustManager> trust_;
+  /// Raw model predictions stashed before quarantine/fallback padding so
+  /// on_complete scores the MODEL (enabling re-promotion), not the padded
+  /// serving decision. Erased at completion/eviction.
+  std::unordered_map<sim::InvocationId, sim::Resources> raw_pred_;
   /// Running invocations still short of their predicted demand, per node.
   std::unordered_map<sim::NodeId, std::unordered_set<sim::InvocationId>>
       backfill_candidates_;

@@ -1,0 +1,132 @@
+#include "core/predictor_fault.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/profiler.h"
+
+namespace libra::core {
+
+using sim::Invocation;
+using sim::SimTime;
+using sim::fault::PredFaultKind;
+
+FaultyPredictor::FaultyPredictor(
+    PredictorPtr inner, std::vector<sim::fault::PredictionFault> faults,
+    uint64_t seed)
+    : inner_(std::move(inner)), faults_(std::move(faults)), seed_(seed) {
+  if (!inner_) throw std::invalid_argument("FaultyPredictor: null inner");
+  // Reuse the engine-side validation for the window/severity sanity checks;
+  // the node count is irrelevant here (prediction faults target functions).
+  sim::fault::FaultPlan plan;
+  plan.prediction_faults = faults_;
+  plan.validate(/*num_nodes=*/1);
+}
+
+std::string FaultyPredictor::name() const {
+  return "faulty(" + inner_->name() + ")";
+}
+
+bool FaultyPredictor::fault_active(sim::FunctionId func, SimTime t) const {
+  for (const auto& f : faults_)
+    if (f.covers(func, t)) return true;
+  return false;
+}
+
+util::Rng& FaultyPredictor::noise_rng(sim::FunctionId func) {
+  auto it = noise_rng_.find(func);
+  if (it == noise_rng_.end()) {
+    // Per-function sub-streams (fault_injector.cpp idiom, fresh tag range):
+    // draws for one function never perturb another's, so adding a function
+    // to a trace leaves every other function's noise sequence intact.
+    it = noise_rng_
+             .emplace(func, util::Rng(seed_).fork(
+                                0x50000 + static_cast<uint64_t>(func)))
+             .first;
+  }
+  return it->second;
+}
+
+void FaultyPredictor::serve_outage(Invocation& inv) {
+  if (auto* profiler = dynamic_cast<Profiler*>(inner_.get())) {
+    // §4.3.2: the ML serving path is down; the histogram models built from
+    // completion telemetry keep serving.
+    profiler->predict_fallback(inv);
+    return;
+  }
+  inv.pred_demand = inv.user_alloc;
+  inv.pred_duration = 1.0;
+  inv.pred_size_related = false;
+  inv.first_seen = false;
+}
+
+void FaultyPredictor::predict(Invocation& inv) {
+  const SimTime t = inv.arrival;
+
+  // Outage first: nothing downstream of a dead serving path applies.
+  for (const auto& f : faults_) {
+    if (f.kind == PredFaultKind::kOutage && f.covers(inv.func, t)) {
+      serve_outage(inv);
+      ++stats_.outage_served;
+      return;
+    }
+  }
+
+  inner_->predict(inv);
+
+  // Stuck-stale: serve the last pre-window prediction verbatim; the live
+  // model keeps training underneath and resumes serving when the window
+  // closes.
+  bool stuck = false;
+  for (const auto& f : faults_)
+    if (f.kind == PredFaultKind::kStuck && f.covers(inv.func, t)) stuck = true;
+  if (stuck) {
+    auto it = snapshots_.find(inv.func);
+    if (it != snapshots_.end()) {
+      inv.pred_demand = it->second.pred_demand;
+      inv.pred_duration = it->second.pred_duration;
+      inv.pred_size_related = it->second.pred_size_related;
+      // A stale model cannot open new §4.3.2 probe windows.
+      inv.profiling_probe = false;
+      ++stats_.stuck_served;
+    }
+    // No snapshot yet (function first seen inside the window): the fresh
+    // prediction stands in — there is nothing stale to serve.
+  } else {
+    snapshots_[inv.func] = {inv.pred_demand, inv.pred_duration,
+                            inv.pred_size_related};
+  }
+
+  // Bias, drift and noise compose multiplicatively on the served demand.
+  double factor = 1.0;
+  for (const auto& f : faults_) {
+    if (!f.covers(inv.func, t)) continue;
+    switch (f.kind) {
+      case PredFaultKind::kBias:
+        factor *= f.severity;
+        ++stats_.biased;
+        break;
+      case PredFaultKind::kDrift: {
+        const double frac =
+            std::clamp((t - f.from) / (f.until - f.from), 0.0, 1.0);
+        factor *= 1.0 + (f.severity - 1.0) * frac;
+        ++stats_.drifted;
+        break;
+      }
+      case PredFaultKind::kNoise:
+        factor *= noise_rng(inv.func).lognormal(0.0, f.severity);
+        ++stats_.noised;
+        break;
+      case PredFaultKind::kStuck:
+      case PredFaultKind::kOutage:
+        break;  // handled above
+    }
+  }
+  if (factor != 1.0) {
+    inv.pred_demand.cpu = std::max(1e-6, inv.pred_demand.cpu * factor);
+    inv.pred_demand.mem = std::max(1e-6, inv.pred_demand.mem * factor);
+  }
+}
+
+}  // namespace libra::core

@@ -1,0 +1,78 @@
+// Prediction-fault injection: a decorator over any DemandPredictor that
+// replays the scripted prediction storms of a sim::fault::FaultPlan — the
+// model-fault counterpart of the PR-1 infrastructure faults. Five error
+// modes (fault_plan.h): multiplicative bias, heteroscedastic lognormal
+// noise, gradual drift, stuck-stale serving and full predictor outage.
+//
+// Determinism contract: storms are evaluated against the invocation's
+// arrival time (predict() carries no clock), noise draws come from seeded
+// per-function sub-streams, and scripted windows short-circuit without
+// consuming draws — so the same (trace, plan, seed) replays bit-identically
+// and prediction storms compose freely with node churn from the same plan.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/predictor.h"
+#include "sim/fault/fault_plan.h"
+#include "util/rng.h"
+
+namespace libra::core {
+
+class FaultyPredictor final : public DemandPredictor {
+ public:
+  /// Wraps `inner` with the plan's prediction faults. The seed feeds the
+  /// kNoise sub-streams only; bias/drift/stuck/outage are fully scripted.
+  FaultyPredictor(PredictorPtr inner,
+                  std::vector<sim::fault::PredictionFault> faults,
+                  uint64_t seed);
+
+  std::string name() const override;
+  void predict(sim::Invocation& inv) override;
+  /// Telemetry keeps flowing during every fault mode: a broken serving path
+  /// does not stop the platform from collecting completions (and a stuck
+  /// model keeps training — it just serves the stale version).
+  void observe(const Observation& obs) override { inner_->observe(obs); }
+  void prewarm(const sim::FunctionCatalog& catalog, uint64_t seed,
+               int samples_per_function) override {
+    inner_->prewarm(catalog, seed, samples_per_function);
+  }
+
+  DemandPredictor& inner() { return *inner_; }
+
+  /// True when any fault window covers (func, t) — lets benches report which
+  /// invocations ran inside the storm.
+  bool fault_active(sim::FunctionId func, sim::SimTime t) const;
+
+  /// Injection counters for tests and bench prose.
+  struct Stats {
+    long biased = 0;
+    long noised = 0;
+    long drifted = 0;
+    long stuck_served = 0;
+    long outage_served = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  /// Last clean (outside every stuck window) prediction per function, served
+  /// verbatim while a kStuck window covers the function.
+  struct Snapshot {
+    sim::Resources pred_demand;
+    double pred_duration = 0.0;
+    bool pred_size_related = false;
+  };
+
+  void serve_outage(sim::Invocation& inv);
+  util::Rng& noise_rng(sim::FunctionId func);
+
+  PredictorPtr inner_;
+  std::vector<sim::fault::PredictionFault> faults_;
+  uint64_t seed_;
+  std::unordered_map<sim::FunctionId, util::Rng> noise_rng_;
+  std::unordered_map<sim::FunctionId, Snapshot> snapshots_;
+  Stats stats_;
+};
+
+}  // namespace libra::core

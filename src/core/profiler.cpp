@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 #include "ml/dataset.h"
 #include "ml/metrics.h"
@@ -14,12 +16,58 @@ using sim::InputSpec;
 using sim::Invocation;
 using sim::Resources;
 
+namespace {
+
+void check_percentile(double p, const char* what) {
+  if (p < 0.0 || p > 100.0)
+    throw std::invalid_argument(std::string("ProfilerConfig: ") + what + " = " +
+                                std::to_string(p) + " outside [0, 100]");
+}
+
+}  // namespace
+
+void ProfilerConfig::validate() const {
+  if (duplicates < 2)
+    throw std::invalid_argument(
+        "ProfilerConfig: duplicates must be >= 2 to split train/test, got " +
+        std::to_string(duplicates));
+  if (scale_lo <= 0.0 || scale_hi <= 0.0 || scale_lo >= scale_hi)
+    throw std::invalid_argument(
+        "ProfilerConfig: rescale range must satisfy 0 < scale_lo < scale_hi, "
+        "got [" +
+        std::to_string(scale_lo) + ", " + std::to_string(scale_hi) + "]");
+  if (train_fraction <= 0.0 || train_fraction >= 1.0)
+    throw std::invalid_argument(
+        "ProfilerConfig: train_fraction must be inside (0, 1), got " +
+        std::to_string(train_fraction));
+  if (profiling_window <= 0)
+    throw std::invalid_argument(
+        "ProfilerConfig: profiling_window must be positive, got " +
+        std::to_string(profiling_window));
+  check_percentile(peak_percentile, "peak_percentile");
+  check_percentile(duration_percentile, "duration_percentile");
+  if (accuracy_threshold < 0.0 || accuracy_threshold > 1.0 ||
+      r2_threshold > 1.0)
+    throw std::invalid_argument(
+        "ProfilerConfig: relatedness thresholds outside their ranges");
+  if (profiling_max.cpu <= 0.0 || profiling_max.mem <= 0.0)
+    throw std::invalid_argument(
+        "ProfilerConfig: profiling_max must be positive, got " +
+        profiling_max.to_string());
+  if (mem_class_mb <= 0.0)
+    throw std::invalid_argument(
+        "ProfilerConfig: mem_class_mb must be positive, got " +
+        std::to_string(mem_class_mb));
+  if (force_ml && force_histogram)
+    throw std::invalid_argument(
+        "ProfilerConfig: force_ml and force_histogram are mutually exclusive");
+}
+
 Profiler::Profiler(ProfilerConfig cfg,
                    std::shared_ptr<const sim::FunctionCatalog> catalog)
     : cfg_(cfg), catalog_(std::move(catalog)), rng_(cfg.seed) {
   if (!catalog_) throw std::invalid_argument("Profiler: null catalog");
-  if (cfg_.force_ml && cfg_.force_histogram)
-    throw std::invalid_argument("Profiler: force_ml and force_histogram");
+  cfg_.validate();
 }
 
 void Profiler::train_function(FunctionId func, const InputSpec& first_input,
@@ -147,6 +195,22 @@ void Profiler::predict(Invocation& inv) {
   } else {
     predict_histogram(state, inv);
   }
+}
+
+void Profiler::predict_fallback(Invocation& inv) {
+  auto it = functions_.find(inv.func);
+  if (it == functions_.end() || it->second.mode == Mode::kUntrained) {
+    // Never trained and the ML path is down: nothing to serve but the user
+    // configuration. No probe either — probes are a profiling decision the
+    // degraded path must not take.
+    inv.first_seen = false;
+    inv.pred_demand = inv.user_alloc;
+    inv.pred_duration = 1.0;
+    inv.pred_size_related = false;
+    return;
+  }
+  inv.first_seen = false;
+  predict_histogram(it->second, inv);
 }
 
 void Profiler::observe(const Observation& obs) {

@@ -51,6 +51,13 @@ struct ProfilerConfig {
   bool force_histogram = false;
   ml::ForestOptions forest;
   uint64_t seed = 1234;
+
+  /// Throws std::invalid_argument on nonsensical configurations instead of
+  /// letting them corrupt training downstream: inverted rescale range,
+  /// train_fraction outside (0,1), non-positive duplicates/profiling_window,
+  /// percentiles outside [0,100], non-positive profiling_max/mem_class_mb,
+  /// or force_ml together with force_histogram.
+  void validate() const;
 };
 
 class Profiler final : public DemandPredictor {
@@ -86,6 +93,13 @@ class Profiler final : public DemandPredictor {
   /// safeguard stop having memory harvested; the policy reports strikes.
   void record_mem_safeguard_strike(sim::FunctionId func);
   bool mem_harvest_disabled(sim::FunctionId func, int max_strikes) const;
+
+  /// Degraded serving path: predicts from the §4.3.2 histogram models even
+  /// when the function is classified size-related, for when the ML serving
+  /// path is unavailable (predictor outage) or no longer trusted (the trust
+  /// circuit breaker's HALF_OPEN probation tier). Untrained functions are
+  /// served with the user configuration.
+  void predict_fallback(sim::Invocation& inv);
 
  private:
   enum class Mode { kUntrained, kMl, kHistogram };

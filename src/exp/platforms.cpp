@@ -5,6 +5,7 @@
 #include "baselines/default_policy.h"
 #include "baselines/freyr.h"
 #include "baselines/schedulers.h"
+#include "core/predictor_fault.h"
 #include "core/profiler.h"
 #include "core/window_predictors.h"
 
@@ -33,6 +34,8 @@ std::string platform_name(PlatformKind kind) {
       return "Libra-Hist";
     case PlatformKind::kLibraMl:
       return "Libra-ML";
+    case PlatformKind::kLibraTrust:
+      return "Libra+Trust";
   }
   throw std::invalid_argument("platform_name: bad kind");
 }
@@ -104,6 +107,12 @@ std::shared_ptr<sim::Policy> make_platform(
       return LibraPolicy::with_coverage_scheduler(
           libra_config(tuning, true),
           make_profiler(catalog, tuning, true, false));
+    case PlatformKind::kLibraTrust: {
+      auto cfg = libra_config(tuning, true);
+      cfg.trust_enabled = true;
+      return LibraPolicy::with_coverage_scheduler(
+          cfg, make_profiler(catalog, tuning, false, false));
+    }
   }
   throw std::invalid_argument("make_platform: bad kind");
 }
@@ -111,6 +120,25 @@ std::shared_ptr<sim::Policy> make_platform(
 std::shared_ptr<sim::Policy> make_platform(
     PlatformKind kind, std::shared_ptr<const sim::FunctionCatalog> catalog) {
   return make_platform(kind, std::move(catalog), PlatformTuning{});
+}
+
+std::shared_ptr<Profiler> make_libra_profiler(
+    std::shared_ptr<const sim::FunctionCatalog> catalog,
+    const PlatformTuning& tuning) {
+  return make_profiler(std::move(catalog), tuning, false, false);
+}
+
+std::shared_ptr<LibraPolicy> make_faulty_libra(
+    std::shared_ptr<const sim::FunctionCatalog> catalog,
+    const PlatformTuning& tuning,
+    std::vector<sim::fault::PredictionFault> faults, bool with_trust,
+    bool with_safeguard) {
+  auto profiler = make_profiler(std::move(catalog), tuning, false, false);
+  auto faulty = std::make_shared<core::FaultyPredictor>(
+      profiler, std::move(faults), tuning.seed);
+  auto cfg = libra_config(tuning, with_safeguard);
+  cfg.trust_enabled = with_trust;
+  return LibraPolicy::with_coverage_scheduler(cfg, std::move(faulty));
 }
 
 std::string scheduler_name(SchedulerKind kind) {

@@ -6,22 +6,26 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/libra_policy.h"
+#include "core/profiler.h"
+#include "sim/fault/fault_plan.h"
 #include "sim/function.h"
 #include "sim/policy.h"
 
 namespace libra::exp {
 
 enum class PlatformKind {
-  kDefault,    // unmodified OpenWhisk
-  kFreyr,      // DRL harvester stand-in (see baselines/freyr.h)
-  kLibra,      // full system
-  kLibraNS,    // no safeguard
-  kLibraNP,    // no profiler (moving window)
-  kLibraNSP,   // neither
-  kLibraHist,  // profiler forced to histogram models only (Fig. 13a)
-  kLibraMl,    // profiler forced to ML models only (Fig. 13a)
+  kDefault,     // unmodified OpenWhisk
+  kFreyr,       // DRL harvester stand-in (see baselines/freyr.h)
+  kLibra,       // full system
+  kLibraNS,     // no safeguard
+  kLibraNP,     // no profiler (moving window)
+  kLibraNSP,    // neither
+  kLibraHist,   // profiler forced to histogram models only (Fig. 13a)
+  kLibraMl,     // profiler forced to ML models only (Fig. 13a)
+  kLibraTrust,  // Libra + misprediction-resilience layer (trust breaker)
 };
 
 std::string platform_name(PlatformKind kind);
@@ -39,6 +43,24 @@ std::shared_ptr<sim::Policy> make_platform(
 
 std::shared_ptr<sim::Policy> make_platform(
     PlatformKind kind, std::shared_ptr<const sim::FunctionCatalog> catalog);
+
+/// The prewarmed Libra profiler exactly as the kLibra platform assembles it;
+/// exported so benches/tests can wrap it (e.g. in a core::FaultyPredictor)
+/// before handing it to a policy.
+std::shared_ptr<core::Profiler> make_libra_profiler(
+    std::shared_ptr<const sim::FunctionCatalog> catalog,
+    const PlatformTuning& tuning);
+
+/// Libra assembled with its profiler wrapped in a core::FaultyPredictor
+/// replaying `faults` (misprediction storms); `with_trust` switches on the
+/// per-function trust circuit breaker and adaptive harvest margins;
+/// `with_safeguard` off yields the fragile Libra-NS ablation (no §5.2
+/// rescue), the reference point the misprediction bench stresses.
+std::shared_ptr<core::LibraPolicy> make_faulty_libra(
+    std::shared_ptr<const sim::FunctionCatalog> catalog,
+    const PlatformTuning& tuning,
+    std::vector<sim::fault::PredictionFault> faults, bool with_trust,
+    bool with_safeguard = true);
 
 enum class SchedulerKind {
   kDefaultHash,  // OpenWhisk hash affinity

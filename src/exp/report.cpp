@@ -63,14 +63,17 @@ Table summary_table(const std::string& title,
 Table resilience_table(const std::string& title,
                        const std::vector<NamedRun>& runs) {
   Table table(title);
-  table.set_header({"platform", "goodput", "lost", "retries", "crashes",
-                    "recoveries", "mean recov(s)", "stale sched", "cold fails",
-                    "dropped pings", "p99 lat(s)", "completion(s)"});
+  table.set_header({"platform", "goodput", "lost", "retries", "oom retr",
+                    "oom lost", "crashes", "recoveries", "mean recov(s)",
+                    "stale sched", "cold fails", "dropped pings", "p99 lat(s)",
+                    "completion(s)"});
   for (const auto& run : runs) {
     const auto& m = run.metrics;
     table.add_row({run.name, Table::pct(m.goodput()),
                    std::to_string(m.lost_invocations),
                    std::to_string(m.fault_retries),
+                   std::to_string(m.oom_retries),
+                   std::to_string(m.oom_terminal_losses),
                    std::to_string(m.node_crashes),
                    std::to_string(m.node_recoveries),
                    Table::fmt(m.mean_recovery_latency(), 1),
@@ -79,6 +82,30 @@ Table resilience_table(const std::string& title,
                    std::to_string(m.dropped_health_pings),
                    Table::fmt(m.p99_latency(), 2),
                    Table::fmt(m.workload_completion_time(), 1)});
+  }
+  return table;
+}
+
+Table trust_table(const std::string& title, const std::vector<NamedRun>& runs) {
+  Table table(title);
+  table.set_header({"platform", "demotions", "promotions", "quarantined",
+                    "oom retr", "oom lost", "ooms", "safeguards",
+                    "margin p50", "margin p95", "p99 lat(s)"});
+  for (const auto& run : runs) {
+    const auto& m = run.metrics;
+    const auto& margins = m.policy.harvest_margin_samples;
+    const std::string p50 =
+        margins.empty() ? "-" : Table::pct(util::percentile(margins, 50.0));
+    const std::string p95 =
+        margins.empty() ? "-" : Table::pct(util::percentile(margins, 95.0));
+    table.add_row({run.name, std::to_string(m.policy.trust_demotions),
+                   std::to_string(m.policy.trust_promotions),
+                   std::to_string(m.policy.quarantined_functions),
+                   std::to_string(m.oom_retries),
+                   std::to_string(m.oom_terminal_losses),
+                   std::to_string(m.oom_events),
+                   std::to_string(m.policy.safeguard_triggers), p50, p95,
+                   Table::fmt(m.p99_latency(), 2)});
   }
   return table;
 }

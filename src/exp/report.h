@@ -30,9 +30,16 @@ util::Table summary_table(const std::string& title,
                           const std::vector<NamedRun>& runs);
 
 /// Churn-resilience summary: goodput, losses, retries, crash/recovery
-/// counts, stale-snapshot decisions, P99 latency and completion time.
+/// counts, OOM rescue counters, stale-snapshot decisions, P99 latency and
+/// completion time.
 util::Table resilience_table(const std::string& title,
                              const std::vector<NamedRun>& runs);
+
+/// Misprediction-resilience summary: trust circuit-breaker activity
+/// (demotions, promotions, functions quarantined at run end), OOM rescue
+/// outcomes, and the adaptive harvest-margin distribution (p50/p95).
+util::Table trust_table(const std::string& title,
+                        const std::vector<NamedRun>& runs);
 
 /// Per-outcome invocation counts (Fig. 8 marker classes).
 util::Table outcome_table(const std::string& title,

@@ -37,7 +37,8 @@ Engine::Engine(EngineConfig cfg, std::shared_ptr<Policy> policy)
     throw std::invalid_argument(
         "Engine: monitor_interval and health_ping_interval must be positive");
   if (cfg_.retry_backoff_base < 0 || cfg_.retry_backoff_cap < 0 ||
-      cfg_.max_fault_retries < 0 || cfg_.placement_timeout <= 0 ||
+      cfg_.max_fault_retries < 0 || cfg_.max_oom_retries < 0 ||
+      cfg_.placement_timeout <= 0 ||
       cfg_.suspect_after_missed_pings <= 0 || cfg_.churn_horizon_pad < 0)
     throw std::invalid_argument("Engine: invalid fault-recovery knobs");
   cfg_.fault_plan.validate(cfg_.node_capacities.size());
@@ -228,7 +229,7 @@ void Engine::try_place(InvocationId id) {
   }
   if (chosen == kNoNode ||
       !node(chosen).try_reserve(inv.shard, inv.user_alloc)) {
-    ++inv.retry_count;
+    ++inv.park_count;
     waiting_.push_back(id);
     notify_audit("park");
     return;
@@ -409,6 +410,13 @@ void Engine::handle_oom(InvocationId id, uint64_t generation) {
   ++inv.oom_count;
   ++metrics_.oom_events;
   policy_->on_oom(inv, *this);  // must pull back inv's harvested resources
+  if (cfg_.oom_redispatch) {
+    // Graceful degradation: tear the container down and re-dispatch on the
+    // dedicated OOM budget instead of restarting in place.
+    redispatch_after_oom(inv);
+    notify_audit("oom");
+    return;
+  }
   // Restart: lose all progress, pay the restart penalty, resume with the
   // user-defined allocation plus whatever the invocation still borrows.
   inv.progress = 0.0;
@@ -424,6 +432,56 @@ void Engine::handle_oom(InvocationId id, uint64_t generation) {
     schedule_progress_events(v);
   });
   notify_audit("oom");
+}
+
+void Engine::redispatch_after_oom(Invocation& inv) {
+  // The policy already pulled back everything harvested from it (on_oom);
+  // on_evicted must additionally return what it still BORROWS — its node and
+  // the pool live on, unlike the node-death path.
+  policy_->on_evicted(inv, *this);
+  ++inv.completion_generation;  // invalidates completion / OOM events
+  ++inv.placement_epoch;        // invalidates a pending container start
+  if (inv.completion_event != kInvalidEvent) {
+    queue_.cancel(inv.completion_event);
+    inv.completion_event = kInvalidEvent;
+  }
+  if (inv.monitor_event != kInvalidEvent) {
+    queue_.cancel(inv.monitor_event);
+    inv.monitor_event = kInvalidEvent;
+  }
+  refresh_usage(inv, false, /*stopping=*/true);
+  Node& n = node(inv.node);
+  if (inv.running) n.invocation_finished();
+  n.containers().release(inv.func, now());
+  n.release(inv.shard, inv.user_alloc + inv.probe_extra);
+  placed_.erase(inv.id);
+  inv.running = false;
+  inv.node = kNoNode;
+  inv.progress = 0.0;
+  inv.cold_start = false;
+  inv.profiling_probe = false;
+  inv.harvested_out = Resources{};
+  inv.borrowed_in = Resources{};
+  inv.probe_extra = Resources{};
+  inv.effective = inv.user_alloc;
+  record_series();
+  if (inv.oom_retry_count >= cfg_.max_oom_retries) {
+    ++metrics_.oom_terminal_losses;
+    lose_invocation(inv);
+  } else {
+    const double backoff =
+        std::min(cfg_.retry_backoff_cap,
+                 cfg_.retry_backoff_base * std::pow(2.0, inv.oom_retry_count));
+    ++inv.oom_retry_count;
+    ++metrics_.oom_retries;
+    // The rescue contract: the next dispatch runs at the full user-defined
+    // allocation — no harvesting, no probes (see LibraPolicy).
+    inv.oom_protected = true;
+    const InvocationId id = inv.id;
+    queue_.schedule_after(cfg_.oom_restart_penalty + backoff,
+                          [this, id] { requeue_after_fault(id); });
+  }
+  retry_waiting();  // the freed reservation may unpark someone
 }
 
 void Engine::handle_completion(InvocationId id, uint64_t generation) {
@@ -580,14 +638,14 @@ void Engine::kill_invocation(InvocationId id) {
 }
 
 void Engine::retry_or_lose(Invocation& inv, double extra_delay) {
-  if (inv.fault_retries >= cfg_.max_fault_retries) {
+  if (inv.fault_retry_count >= cfg_.max_fault_retries) {
     lose_invocation(inv);
     return;
   }
   const double backoff =
       std::min(cfg_.retry_backoff_cap,
-               cfg_.retry_backoff_base * std::pow(2.0, inv.fault_retries));
-  ++inv.fault_retries;
+               cfg_.retry_backoff_base * std::pow(2.0, inv.fault_retry_count));
+  ++inv.fault_retry_count;
   ++metrics_.fault_retries;
   const InvocationId id = inv.id;
   queue_.schedule_after(extra_delay + backoff,
@@ -668,7 +726,8 @@ void Engine::finalize_record(Invocation& inv) {
   rec.finish = inv.t_finish;
   rec.completed = inv.t_finish >= 0.0;
   rec.lost = inv.lost;
-  rec.fault_retries = inv.fault_retries;
+  rec.fault_retries = inv.fault_retry_count;
+  rec.oom_retries = inv.oom_retry_count;
   rec.outcome = inv.outcome();
   rec.cold_start = inv.cold_start;
   rec.oom_count = inv.oom_count;

@@ -55,6 +55,15 @@ struct EngineConfig {
   double retry_backoff_cap = 5.0;
   /// Crash / cold-start-failure retries before an invocation is lost.
   int max_fault_retries = 3;
+  /// OOM graceful degradation: instead of the classic in-place restart, an
+  /// OOM-killed invocation is torn off its node and re-dispatched with
+  /// capped backoff at its full user allocation (inv.oom_protected), its
+  /// harvested grants preemptively released via Policy::on_evicted. Off by
+  /// default — the paper's platforms restart in place.
+  bool oom_redispatch = false;
+  /// OOM re-dispatches before the invocation is lost (a budget deliberately
+  /// separate from max_fault_retries: churn-kills must not consume it).
+  int max_oom_retries = 3;
   /// Parked invocations unplaceable for this long are declared lost.
   /// Only enforced while fault injection is active (failure-free runs keep
   /// the park-until-capacity-frees semantics).
@@ -117,6 +126,9 @@ class Engine final : public EngineApi {
   /// Schedules the post-kill retry, or loses the invocation when the retry
   /// budget is exhausted. `extra_delay` is added on top of the backoff.
   void retry_or_lose(Invocation& inv, double extra_delay);
+  /// OOM graceful degradation: tears the invocation off its (live) node and
+  /// re-dispatches it at full user allocation on the separate OOM budget.
+  void redispatch_after_oom(Invocation& inv);
   /// Declares parked invocations lost once they exceed placement_timeout.
   void expire_overdue_waiting();
   bool fault_active() const { return fault_ && fault_->active(); }

@@ -48,6 +48,45 @@ void FaultPlan::validate(size_t num_nodes) const {
     check_window(w, num_nodes, "cold-start failure");
   for (const auto& w : monitor_blackouts)
     check_window(w, num_nodes, "monitor blackout");
+  for (const auto& p : prediction_faults) {
+    if (p.func != kAllFunctions && p.func < 0)
+      throw std::invalid_argument(
+          "FaultPlan: prediction fault targets invalid function " +
+          std::to_string(p.func));
+    if (p.from < 0.0)
+      throw std::invalid_argument("FaultPlan: prediction fault starts before t=0");
+    if (p.until <= p.from)
+      throw std::invalid_argument(
+          "FaultPlan: prediction fault window is empty or inverted (from=" +
+          std::to_string(p.from) + ")");
+    switch (p.kind) {
+      case PredFaultKind::kBias:
+        if (p.severity <= 0.0)
+          throw std::invalid_argument(
+              "FaultPlan: bias severity must be positive, got " +
+              std::to_string(p.severity));
+        break;
+      case PredFaultKind::kNoise:
+        if (p.severity < 0.0)
+          throw std::invalid_argument(
+              "FaultPlan: noise sigma must be non-negative, got " +
+              std::to_string(p.severity));
+        break;
+      case PredFaultKind::kDrift:
+        if (p.severity <= 0.0)
+          throw std::invalid_argument(
+              "FaultPlan: drift severity must be positive, got " +
+              std::to_string(p.severity));
+        if (p.until >= kNever)
+          throw std::invalid_argument(
+              "FaultPlan: a drift ramps towards its window end and therefore "
+              "needs a finite `until`");
+        break;
+      case PredFaultKind::kStuck:
+      case PredFaultKind::kOutage:
+        break;  // severity unused
+    }
+  }
 }
 
 void FaultProfile::validate() const {

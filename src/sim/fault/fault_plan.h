@@ -17,6 +17,9 @@ namespace libra::sim::fault {
 /// Window/outage target meaning "every node in the cluster".
 inline constexpr NodeId kAllNodes = -1;
 
+/// Prediction-fault target meaning "every function in the catalog".
+inline constexpr FunctionId kAllFunctions = -1;
+
 /// Recovery/expiry timestamp meaning "never".
 inline constexpr SimTime kNever = std::numeric_limits<double>::infinity();
 
@@ -41,6 +44,44 @@ struct FaultWindow {
   }
 };
 
+/// Error modes a prediction storm can script against the demand predictor
+/// (consumed by core::FaultyPredictor, not by the engine).
+enum class PredFaultKind {
+  /// Multiplicative bias: predictions scaled by `severity` (0.5 = predicts
+  /// half the real demand, 2.0 = double).
+  kBias,
+  /// Heteroscedastic noise: each prediction multiplied by an independent
+  /// lognormal factor exp(N(0, severity)) — absolute error grows with the
+  /// magnitude of the prediction.
+  kNoise,
+  /// Gradual drift: the bias ramps linearly from 1.0 at `from` to `severity`
+  /// at `until` — a model slowly going stale. Requires a finite `until`.
+  kDrift,
+  /// Stuck-stale model: the predictor keeps serving the last prediction it
+  /// produced for the function before the window opened.
+  kStuck,
+  /// Full predictor outage: the ML serving path is down; the profiler falls
+  /// back to its §4.3.2 histogram path (or the user allocation when no
+  /// fallback exists).
+  kOutage,
+};
+
+/// One scripted prediction fault: while `t in [from, until)` the error mode
+/// applies to `func` (kAllFunctions targets every function). `severity` is
+/// the scale factor for kBias/kDrift, the lognormal sigma for kNoise, and
+/// unused for kStuck/kOutage.
+struct PredictionFault {
+  PredFaultKind kind = PredFaultKind::kBias;
+  FunctionId func = kAllFunctions;
+  SimTime from = 0.0;
+  SimTime until = kNever;
+  double severity = 1.0;
+
+  bool covers(FunctionId f, SimTime t) const {
+    return (func == kAllFunctions || func == f) && t >= from && t < until;
+  }
+};
+
 struct FaultPlan {
   std::vector<NodeOutage> outages;
   /// Health pings silently dropped: schedulers keep working from whatever
@@ -50,6 +91,11 @@ struct FaultPlan {
   std::vector<FaultWindow> cold_start_failures;
   /// Safeguard monitor ticks are lost (the safeguard daemon goes blind).
   std::vector<FaultWindow> monitor_blackouts;
+  /// Scripted prediction storms. These are consumed at the predictor layer
+  /// (core::FaultyPredictor), never by the engine, so they deliberately do
+  /// NOT count towards empty(): a plan holding only prediction faults keeps
+  /// the engine's fault machinery (placement timeouts, retry sweeps) off.
+  std::vector<PredictionFault> prediction_faults;
 
   bool empty() const {
     return outages.empty() && ping_blackouts.empty() &&
@@ -57,7 +103,9 @@ struct FaultPlan {
   }
 
   /// Throws std::invalid_argument (with the offending entry) on nodes outside
-  /// [0, num_nodes), negative timestamps, or inverted outage/window bounds.
+  /// [0, num_nodes), negative timestamps, inverted outage/window bounds, or
+  /// nonsensical prediction faults (non-positive bias/drift severity,
+  /// negative noise sigma, a drift without a finite end).
   void validate(size_t num_nodes) const;
 };
 

@@ -81,14 +81,23 @@ struct Invocation {
   bool was_accelerated = false;  // it ever held borrowed resources
   bool was_safeguarded = false;  // safeguard fired for it
   int oom_count = 0;
-  int retry_count = 0;
+  /// Placement attempts that parked (no node could hold the reservation).
+  int park_count = 0;
 
   // ---- Fault/resilience state (src/sim/fault) ----
   /// Terminal loss: killed by node churn with the retry budget exhausted, or
   /// parked past the placement timeout. Mutually exclusive with completion.
   bool lost = false;
-  /// Crash / cold-start-failure kills that were re-dispatched with backoff.
-  int fault_retries = 0;
+  /// Crash / cold-start-failure kills re-dispatched with backoff. A separate
+  /// budget from oom_retry_count: churn-kills must never consume the OOM
+  /// rescue budget (or vice versa).
+  int fault_retry_count = 0;
+  /// OOM kills re-dispatched with backoff at full user allocation (OOM
+  /// graceful degradation; only advances when EngineConfig::oom_redispatch).
+  int oom_retry_count = 0;
+  /// Set while the invocation is an OOM-rescue re-dispatch: the policy must
+  /// serve it at its full user allocation (no harvesting, no probes).
+  bool oom_protected = false;
   /// Placement attempt counter; container-start events from an older
   /// placement are invalidated when it advances (node died in between).
   uint64_t placement_epoch = 0;

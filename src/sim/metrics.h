@@ -29,10 +29,14 @@ struct InvocationRecord {
   int oom_count = 0;
   bool completed = false;
   /// Declared lost by the resilience machinery (node churn killed it past
-  /// the retry budget, or it timed out unplaced). Never true for completed.
+  /// the retry budget, it timed out unplaced, or its OOM rescue budget ran
+  /// out). Never true for completed.
   bool lost = false;
   /// Crash / cold-start-failure kills that were re-dispatched with backoff.
   int fault_retries = 0;
+  /// OOM kills re-dispatched with backoff at full user allocation (a budget
+  /// separate from fault_retries).
+  int oom_retries = 0;
   Resources user_alloc;
   Resources pred_demand;
   Resources true_demand;
@@ -71,7 +75,12 @@ struct RunMetrics {
   long node_crashes = 0;
   long node_recoveries = 0;
   long fault_retries = 0;       // crash/cold-start kills that were retried
-  long lost_invocations = 0;    // terminal losses (retry budget / timeout)
+  long lost_invocations = 0;    // ALL terminal losses (any budget / timeout)
+  /// OOM kills re-dispatched with backoff (EngineConfig::oom_redispatch).
+  long oom_retries = 0;
+  /// Terminal losses whose last straw was an exhausted OOM rescue budget; a
+  /// subset of lost_invocations (the loss ledger never double-counts).
+  long oom_terminal_losses = 0;
   long cold_start_failures = 0;
   long dropped_health_pings = 0;
   long delayed_health_pings = 0;

@@ -75,6 +75,14 @@ struct PolicyStats {
   long borrow_gets = 0;
   long pool_revocations = 0;
   long reharvests = 0;
+
+  // ---- Trust circuit breaker (misprediction-resilience layer) ----
+  long trust_demotions = 0;       // CLOSED/HALF_OPEN -> OPEN transitions
+  long trust_promotions = 0;      // HALF_OPEN -> CLOSED re-promotions
+  long quarantined_functions = 0; // functions quarantined at run end
+  /// Adaptive harvest margin actually applied per harvesting decision (the
+  /// margin histogram of the resilience report).
+  std::vector<double> harvest_margin_samples;
 };
 
 /// Result of the Step-5 allocation decision made when an invocation is
@@ -130,6 +138,17 @@ class Policy {
   /// harvested from the invocation (the engine then restarts it with its
   /// user allocation plus whatever it still borrows).
   virtual void on_oom(Invocation& inv, EngineApi& api) {
+    (void)inv;
+    (void)api;
+  }
+
+  /// The engine is tearing the invocation off a LIVE node (OOM graceful
+  /// degradation: the kill is followed by a backoff re-dispatch instead of an
+  /// in-place restart). Unlike on_node_down — where the whole per-node pool
+  /// dies — the policy must reconcile only this invocation: release
+  /// everything still harvested from it AND return everything it borrows to
+  /// the pool, because both the pool and its other borrowers live on.
+  virtual void on_evicted(Invocation& inv, EngineApi& api) {
     (void)inv;
     (void)api;
   }
