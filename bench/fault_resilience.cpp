@@ -5,12 +5,17 @@
 // failures) over the 4-node cluster and compares Default / Freyr / Libra on
 // goodput, lost work and P99 latency. The same seed and fault profile are
 // replayed for every platform, so the clusters see identical churn.
+// Pass --smoke for a reduced CI sweep; --trace-out PREFIX captures the Libra
+// run at the heaviest churn level as a Chrome trace + CSV.
 #include <algorithm>
 #include <iostream>
+#include <memory>
 
+#include "exp/cli.h"
 #include "exp/platforms.h"
 #include "exp/report.h"
 #include "exp/runner.h"
+#include "obs/obs_session.h"
 #include "workload/function_catalog.h"
 #include "workload/trace.h"
 
@@ -38,17 +43,24 @@ sim::EngineConfig faulty_config(const ChurnLevel& level) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const exp::CliOptions cli = exp::parse_cli(argc, argv);
+  if (cli.help) {
+    std::cout << "bench_fault_resilience [options]\n" << exp::cli_usage();
+    return 0;
+  }
   auto catalog = std::make_shared<const sim::FunctionCatalog>(
       workload::sebs_catalog());
-  const auto trace = workload::multi_trace(*catalog, /*rpm=*/120, /*seed=*/5);
+  const auto trace = workload::multi_trace(
+      *catalog, /*rpm=*/cli.smoke ? 60 : 120, /*seed=*/5);
 
-  const std::vector<ChurnLevel> levels = {
+  std::vector<ChurnLevel> levels = {
       {"no churn", 0.0, 10.0},
       {"mtbf 120s", 120.0, 10.0},
       {"mtbf 60s", 60.0, 10.0},
       {"mtbf 30s", 30.0, 10.0},
   };
+  if (cli.smoke) levels = {{"no churn", 0.0, 10.0}, {"mtbf 60s", 60.0, 10.0}};
   const std::vector<exp::PlatformKind> kinds = {
       exp::PlatformKind::kDefault, exp::PlatformKind::kFreyr,
       exp::PlatformKind::kLibra};
@@ -58,12 +70,27 @@ int main() {
                      "(4 nodes x 32c/32GB, 120 RPM, 10% ping drops, 5% cold "
                      "start failures)");
 
+  // The capture is scoped to one run (invocation ids restart per run):
+  // Libra under the heaviest churn of the sweep.
+  std::unique_ptr<obs::ObsSession> obs_session;
+
   int libra_goodput_wins = 0;
-  for (const auto& level : levels) {
+  for (size_t li = 0; li < levels.size(); ++li) {
+    const auto& level = levels[li];
     std::vector<exp::NamedRun> runs;
     for (auto kind : kinds) {
       auto policy = exp::make_platform(kind, catalog);
-      auto m = exp::run_experiment(faulty_config(level), policy, trace);
+      const bool capture = cli.obs_requested() && li + 1 == levels.size() &&
+                           kind == exp::PlatformKind::kLibra;
+      sim::RunMetrics m;
+      if (capture) {
+        obs_session =
+            std::make_unique<obs::ObsSession>(exp::obs_config_from(cli));
+        m = exp::run_experiment(faulty_config(level), policy, trace,
+                                obs_session.get());
+      } else {
+        m = exp::run_experiment(faulty_config(level), policy, trace);
+      }
       runs.push_back({exp::platform_name(kind), std::move(m)});
     }
     exp::resilience_table("churn level: " + level.name, runs)
@@ -82,5 +109,6 @@ int main() {
             << "Measured: Libra goodput >= best baseline on "
             << libra_goodput_wins << "/" << levels.size()
             << " churn levels.\n";
+  if (obs_session && !exp::export_obs(*obs_session, cli)) return 1;
   return 0;
 }

@@ -13,13 +13,18 @@
 //                graceful degradation (re-dispatch on the capped OOM budget)
 //
 // Pass --smoke for the reduced CI variant (lighter trace, fewer levels).
-#include <cstring>
+// With --trace-out PREFIX the first determinism-replay run is captured as a
+// Chrome trace + CSV; the replay check then doubles as proof that the
+// observability session does not perturb the simulation.
 #include <iostream>
+#include <memory>
 #include <vector>
 
+#include "exp/cli.h"
 #include "exp/platforms.h"
 #include "exp/report.h"
 #include "exp/runner.h"
+#include "obs/obs_session.h"
 #include "workload/function_catalog.h"
 #include "workload/trace.h"
 
@@ -64,7 +69,8 @@ std::vector<StormLevel> storm_levels(bool smoke) {
 sim::RunMetrics run_one(std::shared_ptr<const sim::FunctionCatalog> catalog,
                         const std::vector<PredictionFault>& faults,
                         bool with_trust, bool with_safeguard,
-                        const std::vector<sim::Invocation>& trace) {
+                        const std::vector<sim::Invocation>& trace,
+                        obs::ObsSession* obs = nullptr) {
   exp::PlatformTuning tuning;
   auto policy = exp::make_faulty_libra(catalog, tuning, faults, with_trust,
                                        with_safeguard);
@@ -72,7 +78,7 @@ sim::RunMetrics run_one(std::shared_ptr<const sim::FunctionCatalog> catalog,
   // The paper's platforms restart OOM kills in place; the trust platform
   // re-dispatches them at full user allocation on the capped OOM budget.
   cfg.oom_redispatch = with_trust;
-  return exp::run_experiment(cfg, policy, trace);
+  return exp::run_experiment(cfg, policy, trace, obs);
 }
 
 bool violates(const sim::RunMetrics& m, double p99_fault_free) {
@@ -83,7 +89,12 @@ bool violates(const sim::RunMetrics& m, double p99_fault_free) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const exp::CliOptions cli = exp::parse_cli(argc, argv);
+  if (cli.help) {
+    std::cout << "bench_misprediction [options]\n" << exp::cli_usage();
+    return 0;
+  }
+  const bool smoke = cli.smoke;
   auto catalog = std::make_shared<const sim::FunctionCatalog>(
       workload::sebs_catalog());
   const auto trace =
@@ -137,10 +148,15 @@ int main(int argc, char** argv) {
   }
 
   // Determinism: the heaviest composite storm must replay bit-identically
-  // from the same (trace, storm script, seed).
+  // from the same (trace, storm script, seed). The first run carries the
+  // observability session when one was requested, so the comparison also
+  // certifies that tracing never perturbs the simulation.
   const auto& heavy = levels.back();
+  std::unique_ptr<obs::ObsSession> obs_session;
+  if (cli.obs_requested())
+    obs_session = std::make_unique<obs::ObsSession>(exp::obs_config_from(cli));
   const auto a = run_one(catalog, heavy.faults, /*with_trust=*/true,
-                         /*with_safeguard=*/true, trace);
+                         /*with_safeguard=*/true, trace, obs_session.get());
   const auto b = run_one(catalog, heavy.faults, /*with_trust=*/true,
                          /*with_safeguard=*/true, trace);
   const bool identical =
@@ -162,5 +178,6 @@ int main(int argc, char** argv) {
             << ooms_ns << " (Libra-NS) / " << ooms_vanilla << " (Libra) / "
             << ooms_trust << " (Libra+Trust, 0 terminal); replay "
             << (identical ? "bit-identical" : "DIVERGED") << ".\n";
-  return 0;
+  if (obs_session && !exp::export_obs(*obs_session, cli)) return 1;
+  return identical ? 0 : 1;
 }

@@ -74,12 +74,12 @@ void InvariantAuditor::on_pool_event(const core::PoolEvent& ev) {
   if (ev.pool) check_pool_conservation(*ev.pool, "pool-event");
 }
 
-void InvariantAuditor::on_engine_event(sim::EngineApi& api, const char* what,
-                                       long event_id) {
+void InvariantAuditor::on_engine_event(sim::EngineApi& api,
+                                       const sim::EngineEvent& ev) {
   ++stats_.engine_events;
-  if (event_id % cfg_.every_n != 0) return;
+  if (ev.id % cfg_.every_n != 0) return;
   ++stats_.sweeps;
-  sweep(api, what);
+  sweep(api, ev.what);
 }
 
 void InvariantAuditor::sweep(sim::EngineApi& api, const char* what) const {

@@ -46,8 +46,8 @@ class InvariantAuditor final : public core::PoolEventListener,
   void on_pool_event(const core::PoolEvent& ev) override;
 
   // sim::EngineAuditHook
-  void on_engine_event(sim::EngineApi& api, const char* what,
-                       long event_id) override;
+  void on_engine_event(sim::EngineApi& api,
+                       const sim::EngineEvent& ev) override;
 
   struct Stats {
     long pool_events = 0;    // pool mutations observed

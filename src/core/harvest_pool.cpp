@@ -93,6 +93,7 @@ void HarvestResourcePool::notify(PoolOp op, InvocationId subject,
   event.subject = subject;
   event.now = now;
   event.pool = this;
+  event.node = node_hint_;
   listener_->on_pool_event(event);
 }
 

@@ -161,6 +161,11 @@ class HarvestResourcePool {
     listener_ = listener;
   }
 
+  /// Tags the pool with the worker node that owns it, so PoolEvents carry a
+  /// node id (the pool itself never needs it). Set once during setup.
+  void set_node_hint(sim::NodeId node) { node_hint_ = node; }
+  sim::NodeId node_hint() const { return node_hint_; }
+
   /// TEST-ONLY fault injection: adds `delta` idle volume to `source` without
   /// recording it as harvested, deliberately breaking conservation so the
   /// negative tests can prove the auditor fires. Never call outside tests.
@@ -199,6 +204,8 @@ class HarvestResourcePool {
   /// Written once during setup, read outside the lock (the callback must be
   /// able to re-enter the pool's const API).
   PoolEventListener* listener_ = nullptr;
+  /// Owner node for PoolEvent stamping; written once during setup.
+  sim::NodeId node_hint_ = sim::kNoNode;
 };
 
 }  // namespace libra::core

@@ -61,14 +61,25 @@ std::shared_ptr<LibraPolicy> LibraPolicy::with_coverage_scheduler(
 
 HarvestResourcePool& LibraPolicy::pool_for(NodeId node) {
   auto [it, inserted] = pools_.try_emplace(node);
-  if (inserted && pool_listener_ != nullptr)
-    it->second.set_event_listener(pool_listener_);
+  if (inserted) {
+    it->second.set_node_hint(node);
+    if (pool_listener_ != nullptr)
+      it->second.set_event_listener(pool_listener_);
+  }
   return it->second;
 }
 
 void LibraPolicy::set_pool_listener(PoolEventListener* listener) {
   pool_listener_ = listener;
   for (auto& [node, pool] : pools_) pool.set_event_listener(listener);
+}
+
+void LibraPolicy::emit_policy_event(PolicyEventKind kind,
+                                    const sim::Invocation& inv,
+                                    sim::SimTime now) {
+  if (policy_listener_ == nullptr) return;
+  policy_listener_->on_policy_event(
+      PolicyEvent{kind, inv.func, inv.id, inv.node, now});
 }
 
 std::string LibraPolicy::name() const {
@@ -302,12 +313,15 @@ void LibraPolicy::on_monitor(Invocation& inv, EngineApi& api) {
 
   ++stats_.safeguard_triggers;
   inv.was_safeguarded = true;
+  emit_policy_event(PolicyEventKind::kSafeguardTrigger, inv, api.now());
   if (mem_trigger) {
     ++mem_strikes_[inv.func];
     if (profiler_hook_) profiler_hook_->record_mem_safeguard_strike(inv.func);
   }
-  if (trust_ && trust_->record_safeguard(inv.func, api.now()))
+  if (trust_ && trust_->record_safeguard(inv.func, api.now())) {
+    emit_policy_event(PolicyEventKind::kTrustDemotion, inv, api.now());
     enforce_quarantine(inv.func, api);
+  }
   if (cfg_.preemptive_release_on_safeguard) {
     preemptive_release(inv, api, /*restore_allocation=*/true);
   } else {
@@ -373,8 +387,17 @@ void LibraPolicy::on_complete(Invocation& inv, EngineApi& api) {
     const double rel =
         std::max((peak.cpu - raw.cpu) / std::max(raw.cpu, 1e-9),
                  (peak.mem - raw.mem) / std::max(raw.mem, 1e-9));
-    if (trust_->record_completion(inv.func, rel, api.now()))
+    // A promotion happens silently inside record_completion; observe it via
+    // the counter delta (only paid when a listener is installed).
+    const long promos_before =
+        policy_listener_ != nullptr ? trust_->promotions() : 0;
+    if (trust_->record_completion(inv.func, rel, api.now())) {
+      emit_policy_event(PolicyEventKind::kTrustDemotion, inv, api.now());
       enforce_quarantine(inv.func, api);
+    } else if (policy_listener_ != nullptr &&
+               trust_->promotions() > promos_before) {
+      emit_policy_event(PolicyEventKind::kTrustPromotion, inv, api.now());
+    }
   }
   // Step 5: feed actual utilization back into the profiling models.
   Observation obs;
@@ -390,8 +413,10 @@ void LibraPolicy::on_oom(Invocation& inv, EngineApi& api) {
   ++mem_strikes_[inv.func];
   if (profiler_hook_) profiler_hook_->record_mem_safeguard_strike(inv.func);
   // An OOM kill is the strongest misprediction signal there is.
-  if (trust_ && trust_->record_oom(inv.func, api.now()))
+  if (trust_ && trust_->record_oom(inv.func, api.now())) {
+    emit_policy_event(PolicyEventKind::kTrustDemotion, inv, api.now());
     enforce_quarantine(inv.func, api);
+  }
   // The platform forcibly returns harvested resources on an OOM kill; the
   // engine then restarts the container with the user allocation.
   preemptive_release(inv, api, /*restore_allocation=*/false);

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/harvest_pool.h"
+#include "core/policy_event.h"
 #include "core/pool_status.h"
 #include "core/predictor.h"
 #include "core/profiler.h"
@@ -110,6 +111,13 @@ class LibraPolicy final : public sim::Policy, public PoolStatusProvider {
   /// invariant auditor). Non-owning; install before the run starts.
   void set_pool_listener(PoolEventListener* listener);
 
+  /// Registers the observer notified on safeguard triggers and trust-state
+  /// transitions (the observability session). Non-owning; install before the
+  /// run starts.
+  void set_policy_listener(PolicyEventListener* listener) {
+    policy_listener_ = listener;
+  }
+
   /// Read-only pool enumeration for the invariant auditor's cross-layer
   /// sweeps (grant liveness, down-node emptiness).
   const std::unordered_map<sim::NodeId, HarvestResourcePool>& pools_for_audit()
@@ -135,11 +143,15 @@ class LibraPolicy final : public sim::Policy, public PoolStatusProvider {
   /// Single creation point for per-node pools: lazily constructs the pool
   /// and attaches the registered event listener.
   HarvestResourcePool& pool_for(sim::NodeId node);
+  /// Fires a PolicyEvent at the registered listener (no-op when unset).
+  void emit_policy_event(PolicyEventKind kind, const sim::Invocation& inv,
+                         sim::SimTime now);
 
   LibraPolicyConfig cfg_;
   PredictorPtr predictor_;
   SchedulerPtr scheduler_;
   PoolEventListener* pool_listener_ = nullptr;
+  PolicyEventListener* policy_listener_ = nullptr;
   std::unordered_map<sim::NodeId, HarvestResourcePool> pools_;
   std::unordered_map<sim::NodeId, PoolStatus> snapshots_;
   /// Freyr mode: functions whose next invocation must run un-harvested.

@@ -1,0 +1,39 @@
+// Observer seam between the Libra policy and the observability layer
+// (src/obs). The policy fires one point event per notable control decision —
+// safeguard triggers and trust-circuit-breaker state transitions — so traces
+// can attribute latency cliffs to the safety machinery. Mirrors the
+// PoolEventListener idiom: production runs leave the listener unset and the
+// notification is a single pointer test.
+#pragma once
+
+#include "sim/types.h"
+
+namespace libra::core {
+
+enum class PolicyEventKind {
+  /// The §5.2 safeguard fired for a running invocation (utilization of the
+  /// shrunken allocation crossed the threshold).
+  kSafeguardTrigger,
+  /// Trust circuit breaker demoted the function to quarantine (-> OPEN).
+  kTrustDemotion,
+  /// Trust circuit breaker re-promoted the function (HALF_OPEN -> CLOSED).
+  kTrustPromotion,
+};
+
+struct PolicyEvent {
+  PolicyEventKind kind = PolicyEventKind::kSafeguardTrigger;
+  sim::FunctionId func = 0;
+  /// The invocation whose monitor tick / completion / OOM caused the event.
+  sim::InvocationId inv = 0;
+  /// Node the subject invocation was running on (kNoNode if not placed).
+  sim::NodeId node = sim::kNoNode;
+  sim::SimTime now = 0.0;
+};
+
+class PolicyEventListener {
+ public:
+  virtual ~PolicyEventListener() = default;
+  virtual void on_policy_event(const PolicyEvent& event) = 0;
+};
+
+}  // namespace libra::core

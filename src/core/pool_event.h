@@ -22,6 +22,9 @@ struct PoolEvent {
   sim::SimTime now = 0.0;
   /// The pool the operation ran against (valid for the callback's duration).
   const HarvestResourcePool* pool = nullptr;
+  /// The worker node the pool belongs to (the pool's node hint; kNoNode when
+  /// the owner never set one, e.g. standalone pools in unit tests).
+  sim::NodeId node = sim::kNoNode;
 };
 
 class PoolEventListener {

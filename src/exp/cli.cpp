@@ -1,0 +1,96 @@
+#include "exp/cli.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+namespace libra::exp {
+
+namespace {
+
+/// Matches "--flag value" and "--flag=value"; advances *i past a consumed
+/// separate value argument.
+bool take_value(int argc, char** argv, int* i, const char* flag,
+                std::string* out) {
+  const char* arg = argv[*i];
+  const size_t flag_len = std::strlen(flag);
+  if (std::strncmp(arg, flag, flag_len) != 0) return false;
+  if (arg[flag_len] == '=') {
+    *out = arg + flag_len + 1;
+    return true;
+  }
+  if (arg[flag_len] == '\0' && *i + 1 < argc) {
+    *out = argv[++*i];
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+CliOptions parse_cli(int argc, char** argv) {
+  CliOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    std::string value;
+    if (std::strcmp(arg, "--smoke") == 0) {
+      opt.smoke = true;
+    } else if (std::strcmp(arg, "--obs") == 0) {
+      opt.obs = true;
+    } else if (std::strcmp(arg, "-h") == 0 ||
+               std::strcmp(arg, "--help") == 0) {
+      opt.help = true;
+    } else if (take_value(argc, argv, &i, "--trace-out", &value)) {
+      opt.trace_out = value;
+    } else if (take_value(argc, argv, &i, "--obs-every-n", &value)) {
+      const long n = std::strtol(value.c_str(), nullptr, 10);
+      if (n >= 1) opt.obs_every_n = static_cast<int>(n);
+    } else {
+      opt.extra.emplace_back(arg);
+    }
+  }
+  return opt;
+}
+
+std::string cli_usage() {
+  return "  --smoke              reduced workload for CI smoke runs\n"
+         "  --obs                enable observability (summary to stdout)\n"
+         "  --trace-out PREFIX   write PREFIX.trace.json (Chrome trace) and\n"
+         "                       PREFIX.csv (time series); implies --obs\n"
+         "  --obs-every-n N      sample 1-in-N series points (default 1)\n"
+         "  -h, --help           this help\n";
+}
+
+obs::ObsConfig obs_config_from(const CliOptions& opt) {
+  obs::ObsConfig cfg;
+  cfg.enabled = opt.obs_requested();
+  cfg.series_every_n = opt.obs_every_n;
+  return cfg;
+}
+
+bool export_obs(const obs::ObsSession& session, const CliOptions& opt) {
+  if (!opt.obs_requested() || !session.enabled()) return true;
+  bool ok = true;
+  if (!opt.trace_out.empty()) {
+    std::string error;
+    const std::string trace_path = opt.trace_out + ".trace.json";
+    if (session.export_chrome_trace(trace_path, &error)) {
+      std::cout << "wrote " << trace_path << " (" << session.trace().size()
+                << " events)\n";
+    } else {
+      std::cerr << "trace export failed: " << error << "\n";
+      ok = false;
+    }
+    const std::string csv_path = opt.trace_out + ".csv";
+    if (session.export_csv(csv_path, &error)) {
+      std::cout << "wrote " << csv_path << "\n";
+    } else {
+      std::cerr << "csv export failed: " << error << "\n";
+      ok = false;
+    }
+  }
+  session.write_summary(std::cout);
+  return ok;
+}
+
+}  // namespace libra::exp

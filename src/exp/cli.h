@@ -1,0 +1,52 @@
+// Shared command-line parsing for the bench binaries. Every bench
+// understands the same flags:
+//
+//   --smoke              reduced workload for CI smoke runs
+//   --obs                enable the observability session (no files written)
+//   --trace-out PREFIX   enable observability and export PREFIX.trace.json
+//                        (Chrome trace-event) + PREFIX.csv (time series);
+//                        also accepts --trace-out=PREFIX
+//   --obs-every-n N      sample 1-in-N pool/ping series points (default 1)
+//   -h / --help          print usage for these shared flags
+//
+// Unrecognized arguments are passed through in `extra` (order preserved) so
+// google-benchmark binaries can forward --benchmark_* flags untouched.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/obs_config.h"
+#include "obs/obs_session.h"
+
+namespace libra::exp {
+
+struct CliOptions {
+  bool smoke = false;
+  bool obs = false;
+  bool help = false;
+  std::string trace_out;
+  int obs_every_n = 1;
+  /// Unrecognized argv entries, in order (argv[0] excluded).
+  std::vector<std::string> extra;
+
+  /// Whether an ObsSession should be enabled for this run.
+  bool obs_requested() const { return obs || !trace_out.empty(); }
+};
+
+/// Parses the shared flags out of argv; never exits. Malformed values for a
+/// recognized flag (e.g. --obs-every-n 0) fall back to the default.
+CliOptions parse_cli(int argc, char** argv);
+
+/// Usage text for the shared flags (callers prepend their own).
+std::string cli_usage();
+
+/// ObsConfig matching the parsed options (enabled iff obs_requested()).
+obs::ObsConfig obs_config_from(const CliOptions& opt);
+
+/// Writes <trace_out>.trace.json and <trace_out>.csv plus a summary to
+/// stdout when --trace-out was given; prints the summary only under plain
+/// --obs. Returns false (with a message to stderr) if a write failed.
+bool export_obs(const obs::ObsSession& session, const CliOptions& opt);
+
+}  // namespace libra::exp

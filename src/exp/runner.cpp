@@ -2,6 +2,7 @@
 
 #include "analysis/invariant_auditor.h"
 #include "core/libra_policy.h"
+#include "obs/obs_session.h"
 
 namespace libra::exp {
 
@@ -34,6 +35,13 @@ sim::EngineConfig jetstream_config(int nodes, int num_shards) {
 sim::RunMetrics run_experiment(const sim::EngineConfig& cfg,
                                std::shared_ptr<sim::Policy> policy,
                                std::vector<sim::Invocation> trace) {
+  return run_experiment(cfg, std::move(policy), std::move(trace), nullptr);
+}
+
+sim::RunMetrics run_experiment(const sim::EngineConfig& cfg,
+                               std::shared_ptr<sim::Policy> policy,
+                               std::vector<sim::Invocation> trace,
+                               obs::ObsSession* obs) {
   // Every experiment runs under the invariant auditor unless the caller
   // installed their own hook. Small traces are swept after every event;
   // large ones are sampled so the O(placed + pools) sweep stays off the
@@ -42,12 +50,29 @@ sim::RunMetrics run_experiment(const sim::EngineConfig& cfg,
   analysis::InvariantAuditorConfig audit_cfg;
   audit_cfg.every_n = trace.size() <= 4096 ? 1 : 64;
   analysis::InvariantAuditor auditor(audit_cfg);
-  auditor.attach_policy(dynamic_cast<core::LibraPolicy*>(policy.get()));
+  auto* libra = dynamic_cast<core::LibraPolicy*>(policy.get());
+  auditor.attach_policy(libra);
 
-  sim::EngineConfig audited_cfg = cfg;
-  if (audited_cfg.audit_hook == nullptr) audited_cfg.audit_hook = &auditor;
-  sim::Engine engine(audited_cfg, std::move(policy));
-  return engine.run(std::move(trace));
+  sim::EngineConfig run_cfg = cfg;
+  if (run_cfg.audit_hook == nullptr) run_cfg.audit_hook = &auditor;
+
+  if (obs != nullptr) {
+    // The session interposes in front of whatever hook/listener is already
+    // installed and forwards every event, so the auditor sees the run
+    // unchanged whether observability is enabled or not.
+    obs->chain_engine_hook(run_cfg.audit_hook);
+    run_cfg.audit_hook = obs;
+    if (libra != nullptr) {
+      obs->chain_pool_listener(&auditor);  // attach_policy installed it
+      libra->set_pool_listener(obs);
+      libra->set_policy_listener(obs);
+    }
+  }
+
+  sim::Engine engine(run_cfg, std::move(policy));
+  sim::RunMetrics metrics = engine.run(std::move(trace));
+  if (obs != nullptr) obs->finish(metrics);
+  return metrics;
 }
 
 }  // namespace libra::exp

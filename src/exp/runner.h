@@ -10,6 +10,10 @@
 #include "sim/metrics.h"
 #include "sim/policy.h"
 
+namespace libra::obs {
+class ObsSession;
+}
+
 namespace libra::exp {
 
 /// Single-node testbed: one worker with 72 cores / 72 GB (§8.2.1).
@@ -26,5 +30,16 @@ sim::EngineConfig jetstream_config(int nodes, int num_shards);
 sim::RunMetrics run_experiment(const sim::EngineConfig& cfg,
                                std::shared_ptr<sim::Policy> policy,
                                std::vector<sim::Invocation> trace);
+
+/// Same, with an observability session interposed on the engine-audit,
+/// pool-event and policy-event seams. The session forwards every event to
+/// the invariant auditor (audit coverage is unchanged) and never mutates
+/// simulation state, so the returned RunMetrics are bit-identical to the
+/// plain overload for the same inputs — with obs enabled, disabled, or
+/// null. finish() is called on the session before returning.
+sim::RunMetrics run_experiment(const sim::EngineConfig& cfg,
+                               std::shared_ptr<sim::Policy> policy,
+                               std::vector<sim::Invocation> trace,
+                               obs::ObsSession* obs);
 
 }  // namespace libra::exp

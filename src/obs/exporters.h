@@ -1,0 +1,38 @@
+// Exporters of the observability subsystem: Chrome trace-event JSON (loads
+// in chrome://tracing and ui.perfetto.dev), CSV time series, and a
+// human-readable run summary. All output is deterministic: events are
+// written in recording order, metrics in name order, numbers with fixed
+// formatting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics_registry.h"
+#include "obs/trace_recorder.h"
+
+namespace libra::obs {
+
+/// Escapes a string for embedding inside a JSON string literal.
+std::string json_escape(const std::string& s);
+
+/// Writes the recorder's events as Chrome trace-event JSON
+/// ({"displayTimeUnit":..., "traceEvents":[...]}). Sim seconds become
+/// microseconds, the unit the format expects. Returns false (and fills
+/// *error when given) on I/O failure.
+bool write_chrome_trace(const TraceRecorder& recorder, const std::string& path,
+                        std::string* error = nullptr);
+
+/// Writes every registry time series as CSV rows `series,t,value` (one
+/// header line, series in name order, samples in time order). Returns false
+/// on I/O failure.
+bool write_csv_timeseries(const MetricsRegistry& registry,
+                          const std::string& path,
+                          std::string* error = nullptr);
+
+/// Human-readable run summary: counters, gauges, histogram percentiles and
+/// trace volume.
+void write_summary(std::ostream& os, const TraceRecorder& recorder,
+                   const MetricsRegistry& registry);
+
+}  // namespace libra::obs

@@ -1,0 +1,78 @@
+#include "obs/metrics_registry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace libra::obs {
+
+LogHistogram::LogHistogram(Options opt) : opt_(opt) {
+  if (opt_.min_positive <= 0.0)
+    throw std::invalid_argument("LogHistogram: min_positive must be > 0");
+  if (opt_.growth <= 1.0)
+    throw std::invalid_argument("LogHistogram: growth must be > 1");
+  if (opt_.max_buckets < 1)
+    throw std::invalid_argument("LogHistogram: max_buckets must be >= 1");
+}
+
+int LogHistogram::bucket_index(double v) const {
+  if (!(v >= opt_.min_positive)) return -1;  // NaN and underflow
+  double lo = opt_.min_positive;
+  int i = 0;
+  while (i + 1 < opt_.max_buckets && v >= lo * opt_.growth) {
+    lo *= opt_.growth;
+    ++i;
+  }
+  return i;
+}
+
+double LogHistogram::bucket_floor(int i) const {
+  double lo = opt_.min_positive;
+  for (int k = 0; k < i; ++k) lo *= opt_.growth;
+  return lo;
+}
+
+void LogHistogram::record(double v) {
+  if (std::isnan(v)) return;
+  ++count_;
+  sum_ += v;
+  min_ = std::min(min_, v);
+  max_ = std::max(max_, v);
+  const int idx = bucket_index(v);
+  if (idx < 0) {
+    ++underflow_;
+    return;
+  }
+  if (static_cast<size_t>(idx) >= buckets_.size())
+    buckets_.resize(static_cast<size_t>(idx) + 1, 0);
+  ++buckets_[static_cast<size_t>(idx)];
+}
+
+double LogHistogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  if (p >= 100.0) return max_;  // the top of the CDF is the true max
+  const long target =
+      std::max<long>(1, static_cast<long>(std::ceil(p / 100.0 *
+                                                    static_cast<double>(count_))));
+  long seen = underflow_;
+  if (target <= seen) return 0.0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (target <= seen) {
+      const double lo = bucket_floor(static_cast<int>(i));
+      return std::sqrt(lo * (lo * opt_.growth));  // geometric midpoint
+    }
+  }
+  return max_;
+}
+
+LogHistogram& MetricsRegistry::histogram(const std::string& name,
+                                         LogHistogram::Options opt) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_.emplace(name, LogHistogram(opt)).first;
+  return it->second;
+}
+
+}  // namespace libra::obs

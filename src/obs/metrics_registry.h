@@ -1,0 +1,131 @@
+// Named-metric registry of the observability subsystem: counters, gauges,
+// log-bucketed histograms and (t, value) time series, addressed by string
+// name. Lookups return stable references (node-based std::map), so hot-path
+// call sites resolve a metric once and keep the pointer; iteration is
+// name-sorted, which makes every export deterministic.
+#pragma once
+
+#include <limits>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace libra::obs {
+
+class Counter {
+ public:
+  void inc(long delta = 1) { value_ += delta; }
+  long value() const { return value_; }
+
+ private:
+  long value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Log-bucketed histogram: bucket i covers
+/// [min_positive * growth^i, min_positive * growth^(i+1)). Values below
+/// min_positive (including zero and negatives) land in a dedicated underflow
+/// bucket; values past the last bucket clamp into it. Bucket indexing uses
+/// repeated multiplication, not log(), so boundaries are exact and
+/// deterministic across platforms.
+struct HistogramOptions {
+  double min_positive = 1e-6;
+  double growth = 2.0;
+  int max_buckets = 64;
+};
+
+class LogHistogram {
+ public:
+  using Options = HistogramOptions;
+
+  explicit LogHistogram(Options opt = Options());
+
+  void record(double v);
+
+  long count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  long underflow() const { return underflow_; }
+
+  /// Bucket index for a value, or -1 for the underflow bucket.
+  int bucket_index(double v) const;
+  /// Inclusive lower bound of bucket i.
+  double bucket_floor(int i) const;
+  /// Exclusive upper bound of bucket i.
+  double bucket_ceil(int i) const { return bucket_floor(i) * opt_.growth; }
+  /// Per-bucket observation counts (sized to the highest bucket touched).
+  const std::vector<long>& buckets() const { return buckets_; }
+
+  /// Percentile estimate (p in [0, 100]): walks the buckets to the target
+  /// rank and returns the geometric midpoint of the hit bucket (0 for the
+  /// underflow bucket). 0 when empty.
+  double percentile(double p) const;
+
+  const Options& options() const { return opt_; }
+
+ private:
+  Options opt_;
+  std::vector<long> buckets_;
+  long underflow_ = 0;
+  long count_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Append-only (t, value) samples; times must be non-decreasing (sim time is
+/// monotone in the engine's event loop).
+class TimeSeries {
+ public:
+  void sample(double t, double v) { samples_.emplace_back(t, v); }
+  const std::vector<std::pair<double, double>>& samples() const {
+    return samples_;
+  }
+  bool empty() const { return samples_.empty(); }
+
+ private:
+  std::vector<std::pair<double, double>> samples_;
+};
+
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  LogHistogram& histogram(const std::string& name,
+                          LogHistogram::Options opt = LogHistogram::Options());
+  TimeSeries& series(const std::string& name) { return series_[name]; }
+
+  // Name-sorted iteration for deterministic exports.
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, LogHistogram>& histograms() const {
+    return histograms_;
+  }
+  const std::map<std::string, TimeSeries>& all_series() const {
+    return series_;
+  }
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty() &&
+           series_.empty();
+  }
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, LogHistogram> histograms_;
+  std::map<std::string, TimeSeries> series_;
+};
+
+}  // namespace libra::obs

@@ -1,0 +1,39 @@
+// Configuration of the observability subsystem (src/obs). Mirrors the
+// InvariantAuditorConfig idiom: a small plain struct with sampling knobs so
+// big traces can dial the cost down, and a master `enabled` switch that
+// collapses every hook to a branch-and-return — the disabled path must stay
+// within 1% of a no-observability build (guarded by bench_micro_overheads).
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+
+namespace libra::obs {
+
+struct ObsConfig {
+  /// Master switch. When false the session records nothing and only forwards
+  /// to chained listeners; replay is bit-identical either way because the
+  /// session never mutates simulation state.
+  bool enabled = true;
+  /// Per-invocation lifecycle spans (queued -> startup -> running).
+  bool spans = true;
+  /// Pool transaction instants, per-op counters, grant-lifetime histogram
+  /// and pool-depth counter tracks.
+  bool pool_events = true;
+  /// Safeguard-trigger and trust-transition point events.
+  bool policy_events = true;
+  /// Time-series samples (pool depth, cluster gauges) are taken on every
+  /// n-th opportunity; 1 = every one. Raise for big traces.
+  int series_every_n = 1;
+  /// Hard cap on recorded trace events; excess is counted, not stored.
+  size_t max_trace_events = size_t{1} << 20;
+
+  void validate() const {
+    if (series_every_n < 1)
+      throw std::invalid_argument("ObsConfig: series_every_n must be >= 1");
+    if (max_trace_events == 0)
+      throw std::invalid_argument("ObsConfig: max_trace_events must be > 0");
+  }
+};
+
+}  // namespace libra::obs

@@ -1,0 +1,43 @@
+#include "obs/trace_recorder.h"
+
+namespace libra::obs {
+
+void TraceRecorder::push(TraceEvent ev) {
+  if (events_.size() >= max_events_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(ev));
+}
+
+void TraceRecorder::begin(double ts, int pid, long long tid, std::string name,
+                          std::string cat, std::string args) {
+  push({Phase::kBegin, ts, pid, tid, std::move(name), std::move(cat),
+        std::move(args)});
+}
+
+void TraceRecorder::end(double ts, int pid, long long tid, std::string name,
+                        std::string cat, std::string args) {
+  push({Phase::kEnd, ts, pid, tid, std::move(name), std::move(cat),
+        std::move(args)});
+}
+
+void TraceRecorder::instant(double ts, int pid, long long tid,
+                            std::string name, std::string cat,
+                            std::string args) {
+  push({Phase::kInstant, ts, pid, tid, std::move(name), std::move(cat),
+        std::move(args)});
+}
+
+void TraceRecorder::counter(double ts, int pid, std::string name,
+                            std::string args) {
+  push({Phase::kCounter, ts, pid, 0, std::move(name), "counter",
+        std::move(args)});
+}
+
+void TraceRecorder::metadata(int pid, std::string name, std::string args) {
+  push({Phase::kMetadata, 0.0, pid, 0, std::move(name), "__metadata",
+        std::move(args)});
+}
+
+}  // namespace libra::obs

@@ -1,0 +1,67 @@
+// Structured trace event log of the observability subsystem. Events follow
+// the Chrome trace-event model (B/E duration spans, i instants, C counters,
+// M metadata) stamped with sim time and a (pid, tid) track:
+//
+//   pid 0          the controller (scheduler pipeline, invocation lifecycle)
+//   pid n+1        worker node n (pool transactions, node faults)
+//   tid            invocation id on lifecycle tracks, 0 on node tracks
+//
+// The recorder is append-only and bounded: past max_events it counts drops
+// instead of growing, so a runaway trace can never exhaust memory.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace libra::obs {
+
+enum class Phase : char {
+  kBegin = 'B',
+  kEnd = 'E',
+  kInstant = 'i',
+  kCounter = 'C',
+  kMetadata = 'M',
+};
+
+struct TraceEvent {
+  Phase ph = Phase::kInstant;
+  double ts = 0.0;  // sim seconds (exported as microseconds)
+  int pid = 0;
+  long long tid = 0;
+  std::string name;
+  std::string cat;
+  /// Preformatted JSON object for the "args" field ("{...}"), or empty.
+  std::string args_json;
+};
+
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(size_t max_events = size_t{1} << 20)
+      : max_events_(max_events) {}
+
+  void begin(double ts, int pid, long long tid, std::string name,
+             std::string cat, std::string args = {});
+  void end(double ts, int pid, long long tid, std::string name,
+           std::string cat, std::string args = {});
+  void instant(double ts, int pid, long long tid, std::string name,
+               std::string cat, std::string args = {});
+  void counter(double ts, int pid, std::string name, std::string args);
+  /// Chrome metadata (e.g. process_name); always ts 0.
+  void metadata(int pid, std::string name, std::string args);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+  /// Events discarded after the max_events cap was hit.
+  size_t dropped() const { return dropped_; }
+
+ private:
+  void push(TraceEvent ev);
+
+  std::vector<TraceEvent> events_;
+  size_t max_events_;
+  size_t dropped_ = 0;
+};
+
+}  // namespace libra::obs

@@ -1,24 +1,42 @@
-// Seam between the engine's event loop and the invariant auditor
-// (src/analysis). The engine cannot depend on the analysis layer, so it only
-// knows this interface: after fully dispatching an event it hands the hook a
-// view of itself plus the event's name and id. Production runs leave the
-// hook unset — the cost is a null check per event.
+// Seam between the engine's event loop and its observers: the invariant
+// auditor (src/analysis) and the observability session (src/obs). The engine
+// cannot depend on either layer, so it only knows this interface: after fully
+// dispatching an event it hands the hook a view of itself plus a small
+// structured description of what happened. Production runs leave the hook
+// unset — the cost is a null check per event.
 #pragma once
+
+#include "sim/types.h"
 
 namespace libra::sim {
 
 class EngineApi;
+
+/// One fully dispatched engine event. `what` names the event kind
+/// ("completion", "node_down", ...); `id` is the engine's global dispatch
+/// counter (matches the audit-context stamp in diagnostics). The subject
+/// fields identify which invocation / node the event was about, when that is
+/// meaningful — observability consumers stamp spans and point events with
+/// them; the auditor ignores them.
+struct EngineEvent {
+  const char* what = "";
+  long id = 0;
+  /// Subject invocation, or kNoInvocation for cluster-level events
+  /// (health_ping, node_down, node_up).
+  InvocationId inv = -1;
+  /// Subject node, or kNoNode when the event is not tied to one.
+  NodeId node = kNoNode;
+};
+
+inline constexpr InvocationId kNoInvocation = -1;
 
 class EngineAuditHook {
  public:
   virtual ~EngineAuditHook() = default;
 
   /// Called after the engine finishes dispatching one event, with all state
-  /// transitions for that event applied. `what` names the event kind
-  /// ("completion", "node_down", ...); `event_id` is the engine's global
-  /// dispatch counter (matches the audit-context stamp in diagnostics).
-  virtual void on_engine_event(EngineApi& api, const char* what,
-                               long event_id) = 0;
+  /// transitions for that event applied.
+  virtual void on_engine_event(EngineApi& api, const EngineEvent& ev) = 0;
 };
 
 }  // namespace libra::sim

@@ -72,10 +72,12 @@ std::vector<InvocationId> Engine::placed_invocations() const {
   return out;
 }
 
-void Engine::notify_audit(const char* what) {
+void Engine::notify_audit(const char* what, InvocationId inv, NodeId node_id) {
   ++audit_event_id_;
   util::audit::set_context(audit_event_id_, now());
-  if (cfg_.audit_hook) cfg_.audit_hook->on_engine_event(*this, what, audit_event_id_);
+  if (cfg_.audit_hook)
+    cfg_.audit_hook->on_engine_event(
+        *this, EngineEvent{what, audit_event_id_, inv, node_id});
 }
 
 RunMetrics Engine::run(std::vector<Invocation> trace) {
@@ -159,7 +161,7 @@ void Engine::on_arrival(InvocationId id) {
   Invocation& inv = invocation(id);
   inv.t_frontend_done = now() + cfg_.frontend_delay;
   queue_.schedule(inv.t_frontend_done, [this, id] { on_profiled(id); });
-  notify_audit("arrival");
+  notify_audit("arrival", id);
 }
 
 void Engine::on_profiled(InvocationId id) {
@@ -231,7 +233,7 @@ void Engine::try_place(InvocationId id) {
       !node(chosen).try_reserve(inv.shard, inv.user_alloc)) {
     ++inv.park_count;
     waiting_.push_back(id);
-    notify_audit("park");
+    notify_audit("park", id);
     return;
   }
   inv.node = chosen;
@@ -251,7 +253,7 @@ void Engine::try_place(InvocationId id) {
     record_series();
     // The failure only surfaces after the attempted creation time.
     retry_or_lose(inv, acq.delay);
-    notify_audit("cold_start_failure");
+    notify_audit("cold_start_failure", id, chosen);
     return;
   }
 
@@ -262,7 +264,7 @@ void Engine::try_place(InvocationId id) {
   const uint64_t epoch = ++inv.placement_epoch;
   queue_.schedule(inv.t_pool_done + acq.delay,
                   [this, id, epoch] { begin_execution(id, epoch); });
-  notify_audit("placement");
+  notify_audit("placement", id, chosen);
 }
 
 void Engine::begin_execution(InvocationId id, uint64_t epoch) {
@@ -281,7 +283,7 @@ void Engine::begin_execution(InvocationId id, uint64_t epoch) {
     inv.monitor_event = queue_.schedule_after(
         cfg_.monitor_interval, [this, id] { monitor_tick(id); });
   }
-  notify_audit("exec_start");
+  notify_audit("exec_start", id, inv.node);
 }
 
 void Engine::schedule_progress_events(Invocation& inv) {
@@ -400,7 +402,7 @@ void Engine::monitor_tick(InvocationId id) {
     inv.monitor_event = queue_.schedule_after(
         cfg_.monitor_interval, [this, id] { monitor_tick(id); });
   }
-  notify_audit("monitor");
+  notify_audit("monitor", id, inv.node);
 }
 
 void Engine::handle_oom(InvocationId id, uint64_t generation) {
@@ -509,7 +511,7 @@ void Engine::handle_completion(InvocationId id, uint64_t generation) {
   metrics_.makespan_end = std::max(metrics_.makespan_end, now());
   finalize_record(inv);
   retry_waiting();
-  notify_audit("completion");
+  notify_audit("completion", id, n.id());
 }
 
 void Engine::retry_waiting() {
@@ -557,7 +559,7 @@ void Engine::health_ping(NodeId node_id) {
     queue_.schedule_after(cfg_.health_ping_interval,
                           [this, node_id] { health_ping(node_id); });
   }
-  notify_audit("health_ping");
+  notify_audit("health_ping", kNoInvocation, node_id);
 }
 
 bool Engine::node_suspected_down(NodeId id) const {
@@ -586,7 +588,7 @@ void Engine::on_node_down(NodeId node_id) {
   n.containers().clear();
   n.check_quiescent();
   record_series();
-  notify_audit("node_down");
+  notify_audit("node_down", kNoInvocation, node_id);
 }
 
 void Engine::on_node_up(NodeId node_id) {
@@ -601,7 +603,7 @@ void Engine::on_node_up(NodeId node_id) {
   // purpose, so schedulers keep avoiding it for up to one ping interval.
   policy_->on_node_up(node_id, *this);
   retry_waiting();
-  notify_audit("node_up");
+  notify_audit("node_up", kNoInvocation, node_id);
 }
 
 void Engine::kill_invocation(InvocationId id) {
@@ -658,7 +660,7 @@ void Engine::requeue_after_fault(InvocationId id) {
   inv.t_sched_enqueue = now();  // placement timeout restarts per attempt
   shard_queues_[static_cast<size_t>(inv.shard)].push_back(id);
   pump_shard(inv.shard);
-  notify_audit("requeue");
+  notify_audit("requeue", id);
 }
 
 void Engine::lose_invocation(Invocation& inv) {

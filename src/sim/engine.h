@@ -133,8 +133,10 @@ class Engine final : public EngineApi {
   void expire_overdue_waiting();
   bool fault_active() const { return fault_ && fault_->active(); }
   /// Stamps the audit context (event id, sim time) and runs the configured
-  /// audit hook. Called at the end of every event handler.
-  void notify_audit(const char* what);
+  /// audit hook with the event's subject ids. Called at the end of every
+  /// event handler.
+  void notify_audit(const char* what, InvocationId inv = kNoInvocation,
+                    NodeId node_id = kNoNode);
   void fold_progress(Invocation& inv);
   void refresh_usage(const Invocation& inv, bool starting, bool stopping);
   void record_series();
