@@ -5,13 +5,19 @@
 //   - memory expiry filter (lend memory only within timeliness)
 //   - runtime backfill (top up running borrowers on health pings)
 //   - preemptive release on safeguard (vs Freyr's next-invocation fix)
+//
+// --smoke keeps only the full-Libra baseline plus the first ablation; with
+// --trace-out or --trace-ndjson the full-Libra run is captured by an
+// observability session.
 #include <iostream>
 #include <memory>
 
 #include "core/libra_policy.h"
 #include "core/profiler.h"
+#include "exp/cli.h"
 #include "exp/report.h"
 #include "exp/runner.h"
+#include "obs/obs_session.h"
 #include "util/table.h"
 #include "workload/function_catalog.h"
 #include "workload/trace.h"
@@ -23,17 +29,24 @@ namespace {
 
 sim::RunMetrics run_config(const core::LibraPolicyConfig& cfg,
                            std::shared_ptr<const sim::FunctionCatalog> catalog,
-                           const std::vector<sim::Invocation>& trace) {
+                           const std::vector<sim::Invocation>& trace,
+                           obs::ObsSession* obs = nullptr) {
   core::ProfilerConfig pcfg;
   auto profiler = std::make_shared<core::Profiler>(pcfg, catalog);
   profiler->prewarm(*catalog, 1234, 30);
   auto policy = core::LibraPolicy::with_coverage_scheduler(cfg, profiler);
-  return exp::run_experiment(exp::single_node_config(), policy, trace);
+  return exp::run_experiment(exp::single_node_config(), policy, trace, obs);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const exp::CliOptions cli = exp::parse_cli(argc, argv);
+  if (cli.help) {
+    std::cout << "bench_ablation_design [options]\n" << exp::cli_usage();
+    return 0;
+  }
+
   auto catalog = std::make_shared<const sim::FunctionCatalog>(
       workload::sebs_catalog());
   const auto trace = workload::single_node_trace(*catalog, 7);
@@ -68,13 +81,21 @@ int main() {
     c.preemptive_release_on_safeguard = false;
     variants.push_back({"- preemptive release", c});
   }
+  if (cli.smoke) variants.resize(2);
 
+  std::unique_ptr<obs::ObsSession> obs_session;
   Table table("Mechanism ablations");
   table.set_header({"variant", "p50(s)", "p99(s)", "worst slowdown",
                     "borrow gets", "revocations", "idle cpu core*s",
                     "safeguarded"});
-  for (const auto& v : variants) {
-    auto m = run_config(v.cfg, catalog, trace);
+  for (size_t vi = 0; vi < variants.size(); ++vi) {
+    const auto& v = variants[vi];
+    const bool capture = cli.obs_requested() && vi == 0;  // Libra (full)
+    if (capture)
+      obs_session =
+          std::make_unique<obs::ObsSession>(exp::obs_config_from(cli));
+    auto m = run_config(v.cfg, catalog, trace,
+                        capture ? obs_session.get() : nullptr);
     auto lats = m.response_latencies();
     double worst = 0;
     for (const auto& rec : m.invocations) worst = std::min(worst, rec.speedup);
@@ -90,5 +111,7 @@ int main() {
                "removing preemptive release turns the safeguard into Freyr's "
                "next-invocation fix (worse degradation); removing the memory "
                "expiry filter risks borrowers losing memory mid-run.\n";
+
+  if (obs_session && !exp::export_obs(*obs_session, cli)) return 1;
   return 0;
 }

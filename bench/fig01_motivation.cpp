@@ -2,8 +2,13 @@
 // under (a) default fixed allocation and (b) harvesting: DH's idle CPU cores
 // and memory are harvested and reassigned to the under-provisioned VP
 // invocation, reducing VP's latency without hurting DH.
+//
+// The three cases are closed-form model evaluations (no simulation), so
+// --smoke and the observability flags are accepted for CLI uniformity but
+// have nothing to reduce or capture.
 #include <iostream>
 
+#include "exp/cli.h"
 #include "sim/execution_model.h"
 #include "util/table.h"
 #include "workload/function_catalog.h"
@@ -26,7 +31,13 @@ sim::InputSpec vp_input_with_cpu(const sim::FunctionModel& vp,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const exp::CliOptions cli = exp::parse_cli(argc, argv);
+  if (cli.help) {
+    std::cout << "bench_fig01_motivation [options]\n" << exp::cli_usage();
+    return 0;
+  }
+
   const auto catalog = workload::sebs_catalog();
   const auto& dh = catalog.at(4);
   const auto& vp = catalog.at(5);

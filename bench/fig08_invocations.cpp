@@ -1,11 +1,17 @@
 // Figure 8 — per-invocation resource reassignment scatter: (core x sec,
 // speedup) and (MB x sec, speedup) for each platform, broken down by the
 // four marker classes (default / harvest / accelerate / safeguard).
+//
+// --smoke restricts the sweep to Default/Freyr/Libra; with --trace-out or
+// --trace-ndjson the Libra run is captured by an observability session.
 #include <iostream>
+#include <memory>
 
+#include "exp/cli.h"
 #include "exp/platforms.h"
 #include "exp/report.h"
 #include "exp/runner.h"
+#include "obs/obs_session.h"
 #include "util/stats.h"
 #include "workload/function_catalog.h"
 #include "workload/trace.h"
@@ -31,7 +37,13 @@ const char* outcome_name(sim::InvOutcome o) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const exp::CliOptions cli = exp::parse_cli(argc, argv);
+  if (cli.help) {
+    std::cout << "bench_fig08_invocations [options]\n" << exp::cli_usage();
+    return 0;
+  }
+
   auto catalog = std::make_shared<const sim::FunctionCatalog>(
       workload::sebs_catalog());
   const auto trace = workload::single_node_trace(*catalog, 7);
@@ -39,12 +51,22 @@ int main() {
   util::print_banner(std::cout,
                      "Figure 8 — per-invocation reassignment vs speedup");
 
-  for (auto kind :
-       {exp::PlatformKind::kDefault, exp::PlatformKind::kFreyr,
-        exp::PlatformKind::kLibra, exp::PlatformKind::kLibraNS,
-        exp::PlatformKind::kLibraNP, exp::PlatformKind::kLibraNSP}) {
+  std::vector<exp::PlatformKind> kinds = {
+      exp::PlatformKind::kDefault, exp::PlatformKind::kFreyr,
+      exp::PlatformKind::kLibra,   exp::PlatformKind::kLibraNS,
+      exp::PlatformKind::kLibraNP, exp::PlatformKind::kLibraNSP};
+  if (cli.smoke) kinds.resize(3);  // Default / Freyr / Libra
+
+  std::unique_ptr<obs::ObsSession> obs_session;
+  for (auto kind : kinds) {
     auto policy = exp::make_platform(kind, catalog);
-    auto m = exp::run_experiment(exp::single_node_config(), policy, trace);
+    const bool capture =
+        cli.obs_requested() && kind == exp::PlatformKind::kLibra;
+    if (capture)
+      obs_session =
+          std::make_unique<obs::ObsSession>(exp::obs_config_from(cli));
+    auto m = exp::run_experiment(exp::single_node_config(), policy, trace,
+                                 capture ? obs_session.get() : nullptr);
 
     Table table("Fig 8 — " + exp::platform_name(kind));
     table.set_header({"class", "count", "core*s min", "core*s max",
@@ -80,5 +102,7 @@ int main() {
                "negative core*s for harvested and positive core*s with "
                "positive speedups for accelerated invocations; unsafe "
                "variants show deep negative speedups.\n";
+
+  if (obs_session && !exp::export_obs(*obs_session, cli)) return 1;
   return 0;
 }

@@ -1,11 +1,17 @@
 // Figure 15 — per-function latency breakdown: frontend, profiler,
 // scheduler, harvest pool, container init, code execution (§8.9). Libra's
 // own components must be negligible next to container init + execution.
+//
+// Single-run bench: --smoke is a no-op; with --trace-out or --trace-ndjson
+// the run is captured by an observability session.
 #include <iostream>
+#include <memory>
 
+#include "exp/cli.h"
 #include "exp/platforms.h"
 #include "exp/report.h"
 #include "exp/runner.h"
+#include "obs/obs_session.h"
 #include "util/stats.h"
 #include "workload/function_catalog.h"
 #include "workload/trace.h"
@@ -13,15 +19,26 @@
 using namespace libra;
 using util::Table;
 
-int main() {
+int main(int argc, char** argv) {
+  const exp::CliOptions cli = exp::parse_cli(argc, argv);
+  if (cli.help) {
+    std::cout << "bench_fig15_breakdown [options]\n" << exp::cli_usage();
+    return 0;
+  }
+
   auto catalog = std::make_shared<const sim::FunctionCatalog>(
       workload::sebs_catalog());
   const auto trace = workload::single_node_trace(*catalog, 7);
 
   util::print_banner(std::cout, "Figure 15 — latency breakdown per function");
 
+  std::unique_ptr<obs::ObsSession> obs_session;
+  if (cli.obs_requested())
+    obs_session =
+        std::make_unique<obs::ObsSession>(exp::obs_config_from(cli));
   auto policy = exp::make_platform(exp::PlatformKind::kLibra, catalog);
-  auto m = exp::run_experiment(exp::multi_node_config(), policy, trace);
+  auto m = exp::run_experiment(exp::multi_node_config(), policy, trace,
+                               obs_session.get());
 
   Table table("Mean stage latency per function (ms; exec in seconds)");
   table.set_header({"func", "frontend(ms)", "profiler(ms)", "scheduler(ms)",
@@ -58,5 +75,7 @@ int main() {
   table.print(std::cout);
   std::cout << "\nPaper: Libra's components incur negligible overhead "
                "compared to container initialization and execution time.\n";
+
+  if (obs_session && !exp::export_obs(*obs_session, cli)) return 1;
   return 0;
 }

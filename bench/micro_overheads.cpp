@@ -18,9 +18,12 @@
 #include "core/coverage.h"
 #include "core/harvest_pool.h"
 #include "core/profiler.h"
+#include "exp/report.h"
 #include "ml/forest.h"
 #include "obs/obs_config.h"
 #include "obs/obs_session.h"
+#include "util/rng.h"
+#include "util/stats.h"
 #include "workload/function_catalog.h"
 #include "workload/trace.h"
 
@@ -151,6 +154,47 @@ void BM_OfflineTraining(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_OfflineTraining)->Unit(benchmark::kMillisecond);
+
+/// Deterministic sample vector shaped like a latency distribution.
+std::vector<double> quantile_samples(int n) {
+  util::Rng rng(42);
+  std::vector<double> xs;
+  xs.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i)
+    xs.push_back(0.01 + 30.0 * rng.uniform(0.0, 1.0) * rng.uniform(0.0, 1.0));
+  return xs;
+}
+
+void BM_CdfQuantilesPerCallSort(benchmark::State& state) {
+  // The pre-refactor cdf_table cost: util::percentile copies and sorts the
+  // sample vector once per quantile row (10 rows per table).
+  const auto xs = quantile_samples(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    double acc = 0;
+    for (double q : exp::default_quantiles())
+      acc += util::percentile(xs, q);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(exp::default_quantiles().size()));
+}
+BENCHMARK(BM_CdfQuantilesPerCallSort)->Arg(4096)->Arg(65536);
+
+void BM_CdfQuantilesEvaluator(benchmark::State& state) {
+  // The current cdf_table cost: QuantileEvaluator sorts once (exact path,
+  // <= 64Ki samples) or feeds a LogHistogram sketch once (above), then each
+  // quantile row is an O(buckets) lookup.
+  const auto xs = quantile_samples(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    exp::QuantileEvaluator eval(xs);
+    double acc = 0;
+    for (double q : exp::default_quantiles()) acc += eval.quantile(q);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(exp::default_quantiles().size()));
+}
+BENCHMARK(BM_CdfQuantilesEvaluator)->Arg(4096)->Arg(65536)->Arg(262144);
 
 /// One timed pool put/get/preempt cycle burst; returns seconds per cycle.
 double time_pool_cycles(core::HarvestResourcePool& pool, int cycles) {

@@ -81,6 +81,9 @@ class LibraPolicy final : public sim::Policy, public PoolStatusProvider {
   std::string name() const override;
   void predict(sim::Invocation& inv) override;
   sim::NodeId select_node(sim::Invocation& inv, sim::EngineApi& api) override;
+  std::optional<sim::NodeId> speculate_select(
+      const sim::Invocation& inv, const sim::EngineApi& api) const override;
+  void commit_select(sim::Invocation& inv, sim::EngineApi& api) override;
   sim::AllocationPlan plan_allocation(sim::Invocation& inv,
                                       sim::EngineApi& api) override;
   bool wants_monitor(const sim::Invocation& inv) const override;

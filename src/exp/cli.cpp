@@ -42,6 +42,8 @@ CliOptions parse_cli(int argc, char** argv) {
       opt.help = true;
     } else if (take_value(argc, argv, &i, "--trace-out", &value)) {
       opt.trace_out = value;
+    } else if (take_value(argc, argv, &i, "--trace-ndjson", &value)) {
+      opt.trace_ndjson = value;
     } else if (take_value(argc, argv, &i, "--obs-every-n", &value)) {
       const long n = std::strtol(value.c_str(), nullptr, 10);
       if (n >= 1) opt.obs_every_n = static_cast<int>(n);
@@ -57,6 +59,8 @@ std::string cli_usage() {
          "  --obs                enable observability (summary to stdout)\n"
          "  --trace-out PREFIX   write PREFIX.trace.json (Chrome trace) and\n"
          "                       PREFIX.csv (time series); implies --obs\n"
+         "  --trace-ndjson PATH  stream trace events to PATH as NDJSON while\n"
+         "                       running (unbounded); implies --obs\n"
          "  --obs-every-n N      sample 1-in-N series points (default 1)\n"
          "  -h, --help           this help\n";
 }
@@ -65,12 +69,16 @@ obs::ObsConfig obs_config_from(const CliOptions& opt) {
   obs::ObsConfig cfg;
   cfg.enabled = opt.obs_requested();
   cfg.series_every_n = opt.obs_every_n;
+  cfg.ndjson_path = opt.trace_ndjson;
   return cfg;
 }
 
 bool export_obs(const obs::ObsSession& session, const CliOptions& opt) {
   if (!opt.obs_requested() || !session.enabled()) return true;
   bool ok = true;
+  if (!opt.trace_ndjson.empty())
+    std::cout << "streamed " << session.trace().streamed()
+              << " trace events to " << opt.trace_ndjson << "\n";
   if (!opt.trace_out.empty()) {
     std::string error;
     const std::string trace_path = opt.trace_out + ".trace.json";

@@ -6,6 +6,9 @@
 //   --trace-out PREFIX   enable observability and export PREFIX.trace.json
 //                        (Chrome trace-event) + PREFIX.csv (time series);
 //                        also accepts --trace-out=PREFIX
+//   --trace-ndjson PATH  enable observability and stream trace events to
+//                        PATH as newline-delimited JSON while the run is in
+//                        flight (not bounded by the in-memory event cap)
 //   --obs-every-n N      sample 1-in-N pool/ping series points (default 1)
 //   -h / --help          print usage for these shared flags
 //
@@ -26,12 +29,15 @@ struct CliOptions {
   bool obs = false;
   bool help = false;
   std::string trace_out;
+  std::string trace_ndjson;
   int obs_every_n = 1;
   /// Unrecognized argv entries, in order (argv[0] excluded).
   std::vector<std::string> extra;
 
   /// Whether an ObsSession should be enabled for this run.
-  bool obs_requested() const { return obs || !trace_out.empty(); }
+  bool obs_requested() const {
+    return obs || !trace_out.empty() || !trace_ndjson.empty();
+  }
 };
 
 /// Parses the shared flags out of argv; never exits. Malformed values for a

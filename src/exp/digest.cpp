@@ -1,0 +1,128 @@
+#include "exp/digest.h"
+
+#include <cstring>
+
+namespace libra::exp {
+namespace {
+
+void hash_resources(Fnv64& h, const sim::Resources& r) {
+  h.f64(r.cpu);
+  h.f64(r.mem);
+}
+
+void hash_series(Fnv64& h, const util::StepSeries& s) {
+  h.u64(s.times().size());
+  for (double t : s.times()) h.f64(t);
+  for (double v : s.values()) h.f64(v);
+}
+
+void hash_record(Fnv64& h, const sim::InvocationRecord& r) {
+  h.i64(r.id);
+  h.i64(r.func);
+  h.f64(r.arrival);
+  h.f64(r.exec_start);
+  h.f64(r.finish);
+  h.f64(r.response_latency);
+  h.f64(r.user_latency);
+  h.f64(r.speedup);
+  h.i64(static_cast<int64_t>(r.outcome));
+  h.boolean(r.cold_start);
+  h.i64(r.oom_count);
+  h.boolean(r.completed);
+  h.boolean(r.lost);
+  h.i64(r.fault_retries);
+  h.i64(r.oom_retries);
+  hash_resources(h, r.user_alloc);
+  hash_resources(h, r.pred_demand);
+  hash_resources(h, r.true_demand);
+  h.f64(r.reassigned_core_seconds);
+  h.f64(r.reassigned_mb_seconds);
+  h.f64(r.stage_frontend);
+  h.f64(r.stage_profiler);
+  h.f64(r.stage_scheduler);
+  h.f64(r.stage_pool);
+  h.f64(r.stage_container);
+  h.f64(r.stage_exec);
+}
+
+}  // namespace
+
+void Fnv64::bytes(const void* data, size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    h_ ^= p[i];
+    h_ *= 1099511628211ull;  // FNV prime
+  }
+}
+
+void Fnv64::u64(uint64_t v) { bytes(&v, sizeof v); }
+
+void Fnv64::f64(double v) {
+  uint64_t bits;
+  static_assert(sizeof bits == sizeof v);
+  std::memcpy(&bits, &v, sizeof bits);
+  u64(bits);
+}
+
+uint64_t run_metrics_digest(const sim::RunMetrics& m) {
+  Fnv64 h;
+  h.u64(m.invocations.size());
+  for (const auto& rec : m.invocations) hash_record(h, rec);
+
+  hash_series(h, m.cpu_used);
+  hash_series(h, m.mem_used);
+  hash_series(h, m.cpu_allocated);
+  hash_series(h, m.mem_allocated);
+
+  hash_resources(h, m.total_capacity);
+  h.f64(m.first_arrival);
+  h.f64(m.makespan_end);
+
+  h.i64(m.cold_starts);
+  h.i64(m.warm_starts);
+  h.i64(m.oom_events);
+  h.i64(m.incomplete);
+
+  h.i64(m.node_crashes);
+  h.i64(m.node_recoveries);
+  h.i64(m.fault_retries);
+  h.i64(m.lost_invocations);
+  h.i64(m.oom_retries);
+  h.i64(m.oom_terminal_losses);
+  h.i64(m.cold_start_failures);
+  h.i64(m.dropped_health_pings);
+  h.i64(m.delayed_health_pings);
+  h.i64(m.suppressed_monitor_ticks);
+  h.i64(m.stale_snapshot_decisions);
+  h.u64(m.recovery_latencies.size());
+  for (double v : m.recovery_latencies) h.f64(v);
+
+  // sched_overhead_seconds is wall-clock noise: excluded by design.
+
+  h.f64(m.policy.pool_idle_cpu_core_seconds);
+  h.f64(m.policy.pool_idle_mem_mb_seconds);
+  h.i64(m.policy.safeguard_triggers);
+  h.i64(m.policy.harvest_puts);
+  h.i64(m.policy.borrow_gets);
+  h.i64(m.policy.pool_revocations);
+  h.i64(m.policy.reharvests);
+  h.i64(m.policy.trust_demotions);
+  h.i64(m.policy.trust_promotions);
+  h.i64(m.policy.quarantined_functions);
+  h.u64(m.policy.harvest_margin_samples.size());
+  for (double v : m.policy.harvest_margin_samples) h.f64(v);
+
+  return h.value();
+}
+
+std::string digest_hex(uint64_t digest) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = kHex[digest & 0xf];
+    digest >>= 4;
+  }
+  return out;
+}
+
+}  // namespace libra::exp

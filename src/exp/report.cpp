@@ -1,12 +1,42 @@
 #include "exp/report.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "util/stats.h"
 
 namespace libra::exp {
 
 using util::Table;
+
+QuantileEvaluator::QuantileEvaluator(std::vector<double> samples,
+                                     size_t exact_threshold)
+    : count_(samples.size()) {
+  if (count_ > exact_threshold) {
+    sketch_ = std::make_unique<obs::LogHistogram>(
+        obs::LogHistogram::Options{/*min_positive=*/1e-6});
+    for (double x : samples) sketch_->record(x);
+  } else {
+    sorted_ = std::move(samples);
+    std::sort(sorted_.begin(), sorted_.end());
+  }
+}
+
+double QuantileEvaluator::quantile(double p) const {
+  if (count_ == 0)
+    throw std::invalid_argument("QuantileEvaluator: empty sample");
+  if (p < 0.0 || p > 100.0)
+    throw std::invalid_argument("QuantileEvaluator: p out of range");
+  if (sketch_) return sketch_->percentile(p);
+  // Exact path: identical interpolation to util::percentile on the
+  // already-sorted samples.
+  if (sorted_.size() == 1) return sorted_[0];
+  const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_[lo] + frac * (sorted_[hi] - sorted_[lo]);
+}
 
 const std::vector<double>& default_quantiles() {
   static const std::vector<double> kQ = {1,  5,  10, 25, 50, 75,
@@ -21,14 +51,14 @@ Table cdf_table(const std::string& title, const std::vector<NamedRun>& runs,
   std::vector<std::string> header = {"percentile"};
   for (const auto& run : runs) header.push_back(run.name);
   table.set_header(std::move(header));
+  // Extract and sort each run's samples once, not once per quantile row.
+  std::vector<QuantileEvaluator> evals;
+  evals.reserve(runs.size());
+  for (const auto& run : runs) evals.emplace_back((run.metrics.*extract)());
   for (double q : quantiles) {
     std::vector<std::string> row = {Table::fmt(q, 0) + "%"};
-    for (const auto& run : runs) {
-      auto samples = (run.metrics.*extract)();
-      row.push_back(samples.empty()
-                        ? "-"
-                        : Table::fmt(util::percentile(std::move(samples), q)));
-    }
+    for (const auto& eval : evals)
+      row.push_back(eval.empty() ? "-" : Table::fmt(eval.quantile(q)));
     table.add_row(std::move(row));
   }
   return table;

@@ -2,14 +2,48 @@
 // of the paper's figures, and cross-platform summary tables.
 #pragma once
 
+#include <cstddef>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "obs/metrics_registry.h"
 #include "sim/metrics.h"
 #include "util/table.h"
 
 namespace libra::exp {
+
+/// Quantile evaluator behind the CDF tables. util::percentile sorts its
+/// input on every call, so a 10-row CDF table used to sort the same sample
+/// vector 10 times per run. This evaluator sorts ONCE and interpolates
+/// exactly (bit-identical to util::percentile) for sample sets up to
+/// `exact_threshold`; beyond the threshold it switches to an
+/// obs::LogHistogram sketch, making huge-run tables O(n) instead of
+/// O(q * n log n). No shipped bench exceeds the default threshold, so table
+/// output is unchanged; the sketch is an escape hatch for very long traces
+/// (negative samples land in the underflow bucket and report as 0).
+class QuantileEvaluator {
+ public:
+  static constexpr size_t kDefaultExactThreshold = 65536;
+
+  explicit QuantileEvaluator(std::vector<double> samples,
+                             size_t exact_threshold = kDefaultExactThreshold);
+
+  bool empty() const { return count_ == 0; }
+  size_t count() const { return count_; }
+  /// True when the sample set crossed the threshold and answers come from
+  /// the log-histogram sketch instead of the sorted exact values.
+  bool sketched() const { return sketch_ != nullptr; }
+  /// Linear-interpolated quantile, p in [0, 100]. Throws on empty input,
+  /// matching util::percentile.
+  double quantile(double p) const;
+
+ private:
+  std::vector<double> sorted_;
+  std::unique_ptr<obs::LogHistogram> sketch_;
+  size_t count_ = 0;
+};
 
 /// Named run for comparison tables.
 struct NamedRun {

@@ -46,6 +46,20 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
+std::string trace_event_json(const TraceEvent& ev) {
+  std::string out = "{\"name\":\"" + json_escape(ev.name) + "\",\"cat\":\"" +
+                    json_escape(ev.cat) + "\",\"ph\":\"" +
+                    static_cast<char>(ev.ph) +
+                    std::string("\",\"ts\":") +
+                    fmt_double(ev.ts * 1e6)  // sim s -> trace us
+                    + ",\"pid\":" + std::to_string(ev.pid) + ",\"tid\":" +
+                    std::to_string(ev.tid);
+  if (ev.ph == Phase::kInstant) out += ",\"s\":\"t\"";
+  if (!ev.args_json.empty()) out += ",\"args\":" + ev.args_json;
+  out += "}";
+  return out;
+}
+
 bool write_chrome_trace(const TraceRecorder& recorder, const std::string& path,
                         std::string* error) {
   std::ofstream os(path);
@@ -55,13 +69,7 @@ bool write_chrome_trace(const TraceRecorder& recorder, const std::string& path,
   for (const auto& ev : recorder.events()) {
     if (!first) os << ",";
     first = false;
-    os << "\n{\"name\":\"" << json_escape(ev.name) << "\",\"cat\":\""
-       << json_escape(ev.cat) << "\",\"ph\":\"" << static_cast<char>(ev.ph)
-       << "\",\"ts\":" << fmt_double(ev.ts * 1e6)  // sim s -> trace us
-       << ",\"pid\":" << ev.pid << ",\"tid\":" << ev.tid;
-    if (ev.ph == Phase::kInstant) os << ",\"s\":\"t\"";
-    if (!ev.args_json.empty()) os << ",\"args\":" << ev.args_json;
-    os << "}";
+    os << "\n" << trace_event_json(ev);
   }
   os << "\n]}\n";
   os.flush();
@@ -89,6 +97,8 @@ void write_summary(std::ostream& os, const TraceRecorder& recorder,
   os << "== observability summary ==\n";
   os << "trace events: " << recorder.size();
   if (recorder.dropped() > 0) os << " (+" << recorder.dropped() << " dropped)";
+  if (recorder.streamed() > 0)
+    os << " (+" << recorder.streamed() << " streamed to ndjson sink)";
   os << "\n";
   if (!registry.counters().empty()) {
     os << "counters:\n";
@@ -109,6 +119,33 @@ void write_summary(std::ostream& os, const TraceRecorder& recorder,
          << " p95=" << fmt_double(h.percentile(95), 4)
          << " p99=" << fmt_double(h.percentile(99), 4)
          << " max=" << fmt_double(h.max(), 4) << "\n";
+    }
+  }
+  // Shard balance of the parallel scheduling phase (§6.4): the per-shard
+  // decision-cost histograms double as per-shard decision counters, so the
+  // spread between the busiest and idlest shard falls out of their counts.
+  {
+    static constexpr const char* kPrefix = "sched_decision_cost.shard";
+    bool any = false;
+    long min_count = 0, max_count = 0;
+    std::string min_name, max_name;
+    for (const auto& [name, h] : registry.histograms()) {
+      if (name.rfind(kPrefix, 0) != 0) continue;
+      if (!any || h.count() < min_count) min_count = h.count(), min_name = name;
+      if (!any || h.count() > max_count) max_count = h.count(), max_name = name;
+      any = true;
+    }
+    if (any) {
+      os << "shard balance: busiest " << max_name << " (" << max_count
+         << " decisions), idlest " << min_name << " (" << min_count
+         << " decisions)";
+      if (min_count > 0)
+        os << ", imbalance "
+           << fmt_double(static_cast<double>(max_count) /
+                             static_cast<double>(min_count),
+                         2)
+           << "x";
+      os << "\n";
     }
   }
   if (!registry.all_series().empty()) {

@@ -16,6 +16,12 @@ namespace libra::obs {
 /// Escapes a string for embedding inside a JSON string literal.
 std::string json_escape(const std::string& s);
 
+/// One trace event as a single-line Chrome trace-event JSON object (sim
+/// seconds exported as microseconds). Shared by write_chrome_trace and the
+/// TraceRecorder newline-delimited-JSON streaming sink, so a streamed line
+/// and an in-memory event export identically.
+std::string trace_event_json(const TraceEvent& ev);
+
 /// Writes the recorder's events as Chrome trace-event JSON
 /// ({"displayTimeUnit":..., "traceEvents":[...]}). Sim seconds become
 /// microseconds, the unit the format expects. Returns false (and fills

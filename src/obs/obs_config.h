@@ -7,6 +7,7 @@
 
 #include <cstddef>
 #include <stdexcept>
+#include <string>
 
 namespace libra::obs {
 
@@ -27,6 +28,10 @@ struct ObsConfig {
   int series_every_n = 1;
   /// Hard cap on recorded trace events; excess is counted, not stored.
   size_t max_trace_events = size_t{1} << 20;
+  /// When non-empty, trace events stream to this file as newline-delimited
+  /// JSON instead of being buffered in memory — runs are then not bounded by
+  /// max_trace_events (the in-memory Chrome-trace export stays empty).
+  std::string ndjson_path;
 
   void validate() const {
     if (series_every_n < 1)

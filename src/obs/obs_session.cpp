@@ -59,6 +59,25 @@ ObsSession::ObsSession(ObsConfig cfg)
                                    {/*min_positive=*/1e-4});
   h_grant_lifetime_ = &metrics_.histogram("grant_lifetime_s",
                                           {/*min_positive=*/1e-4});
+  if (!cfg_.ndjson_path.empty()) {
+    ndjson_out_ = std::make_unique<std::ofstream>(cfg_.ndjson_path);
+    if (!*ndjson_out_)
+      throw std::runtime_error("ObsSession: cannot open ndjson trace file " +
+                               cfg_.ndjson_path);
+    trace_.set_sink(ndjson_out_.get());
+  }
+}
+
+LogHistogram& ObsSession::shard_decision_hist(int shard) {
+  auto it = h_shard_cost_.find(shard);
+  if (it == h_shard_cost_.end())
+    it = h_shard_cost_
+             .emplace(shard, &metrics_.histogram(
+                                 "sched_decision_cost.shard" +
+                                     std::to_string(shard),
+                                 {/*min_positive=*/1e-6}))
+             .first;
+  return *it->second;
 }
 
 void ObsSession::ensure_metadata(sim::EngineApi& api) {
@@ -114,8 +133,9 @@ void ObsSession::on_engine_event(sim::EngineApi& api,
     c_placements_->inc();
     if (ev.inv >= 0) {
       const auto& inv = api.invocation(ev.inv);
-      h_queue_wait_->record(
-          std::max(0.0, inv.t_sched_done - inv.t_sched_enqueue));
+      const double wait = std::max(0.0, inv.t_sched_done - inv.t_sched_enqueue);
+      h_queue_wait_->record(wait);
+      shard_decision_hist(static_cast<int>(inv.shard)).record(wait);
       close_span(ts, ev.inv);
       open_span(ts, ev.inv, "startup",
                 "{\"node\":" + std::to_string(ev.node) +
@@ -288,6 +308,9 @@ void ObsSession::finish(const sim::RunMetrics& metrics) {
     for (const auto& [t, v] : series->sampled(kSeriesImportCap))
       out.sample(t, v);
   }
+  // The NDJSON stream is complete once the run is finished — make it visible
+  // to readers before the session is destroyed.
+  if (ndjson_out_) ndjson_out_->flush();
 }
 
 bool ObsSession::export_chrome_trace(const std::string& path,

@@ -19,8 +19,10 @@
 // not to pools shared across threads.
 #pragma once
 
+#include <fstream>
 #include <iosfwd>
 #include <map>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -84,6 +86,9 @@ class ObsSession final : public sim::EngineAuditHook,
   };
 
   void ensure_metadata(sim::EngineApi& api);
+  /// Lazily resolves the per-shard decision-cost histogram — the shard count
+  /// is a run-time EngineConfig knob the session cannot know at construction.
+  LogHistogram& shard_decision_hist(int shard);
   void open_span(double ts, long long inv, const char* name,
                  std::string args = {}, sim::NodeId node = sim::kNoNode);
   void close_span(double ts, long long inv);
@@ -126,6 +131,12 @@ class ObsSession final : public sim::EngineAuditHook,
   LogHistogram* h_queue_wait_ = nullptr;
   LogHistogram* h_latency_ = nullptr;
   LogHistogram* h_grant_lifetime_ = nullptr;
+  /// Per-shard decision-cost histograms (§6.4 sharded controller), resolved
+  /// on first placement from each shard.
+  std::map<int, LogHistogram*> h_shard_cost_;
+  /// Owned NDJSON stream when cfg_.ndjson_path is set; the recorder holds a
+  /// raw pointer into it, so it lives as long as the session.
+  std::unique_ptr<std::ofstream> ndjson_out_;
 };
 
 }  // namespace libra::obs

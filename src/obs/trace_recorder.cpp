@@ -1,8 +1,17 @@
 #include "obs/trace_recorder.h"
 
+#include <ostream>
+
+#include "obs/exporters.h"
+
 namespace libra::obs {
 
 void TraceRecorder::push(TraceEvent ev) {
+  if (sink_ != nullptr) {
+    *sink_ << trace_event_json(ev) << "\n";
+    ++streamed_;
+    return;
+  }
   if (events_.size() >= max_events_) {
     ++dropped_;
     return;

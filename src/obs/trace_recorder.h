@@ -7,10 +7,14 @@
 //   tid            invocation id on lifecycle tracks, 0 on node tracks
 //
 // The recorder is append-only and bounded: past max_events it counts drops
-// instead of growing, so a runaway trace can never exhaust memory.
+// instead of growing, so a runaway trace can never exhaust memory. For runs
+// that must not be bounded by the in-memory cap, an optional streaming sink
+// (set_sink) writes every event as one newline-delimited JSON line the moment
+// it is recorded — streamed events bypass the cap entirely.
 #pragma once
 
 #include <cstddef>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -50,11 +54,22 @@ class TraceRecorder {
   /// Chrome metadata (e.g. process_name); always ts 0.
   void metadata(int pid, std::string name, std::string args);
 
+  /// Streams every subsequent event to `os` as one NDJSON line (the same
+  /// Chrome trace-event object write_chrome_trace emits, without the array
+  /// wrapper). Streamed events are NOT buffered and NOT subject to the
+  /// max_events cap — the stream, not memory, bounds the run. Pass nullptr
+  /// to detach. The recorder does not own the stream; it must outlive the
+  /// recorder or be detached first.
+  void set_sink(std::ostream* os) { sink_ = os; }
+  bool streaming() const { return sink_ != nullptr; }
+
   const std::vector<TraceEvent>& events() const { return events_; }
   size_t size() const { return events_.size(); }
   bool empty() const { return events_.empty(); }
   /// Events discarded after the max_events cap was hit.
   size_t dropped() const { return dropped_; }
+  /// Events written to the NDJSON sink instead of the in-memory buffer.
+  size_t streamed() const { return streamed_; }
 
  private:
   void push(TraceEvent ev);
@@ -62,6 +77,8 @@ class TraceRecorder {
   std::vector<TraceEvent> events_;
   size_t max_events_;
   size_t dropped_ = 0;
+  size_t streamed_ = 0;
+  std::ostream* sink_ = nullptr;
 };
 
 }  // namespace libra::obs

@@ -1,0 +1,159 @@
+#include "sim/cluster_state.h"
+
+#include <algorithm>
+
+#include "sim/fault/fault_injector.h"
+#include "sim/lifecycle.h"
+#include "sim/policy.h"
+#include "sim/sharded_controller.h"
+
+namespace libra::sim {
+
+ClusterState::ClusterState(EngineHost& host) : host_(host) {
+  const EngineConfig& cfg = host_.config();
+  nodes_.reserve(cfg.node_capacities.size());
+  for (size_t i = 0; i < cfg.node_capacities.size(); ++i) {
+    nodes_.emplace_back(static_cast<NodeId>(i), cfg.node_capacities[i],
+                        cfg.num_shards, cfg.container);
+    host_.metrics().total_capacity += cfg.node_capacities[i];
+  }
+}
+
+std::vector<InvocationId> ClusterState::placed_invocations() const {
+  std::vector<InvocationId> out(placed_.begin(), placed_.end());
+  std::sort(out.begin(), out.end());  // set order is not deterministic
+  return out;
+}
+
+void ClusterState::start_health_pings(SimTime first_arrival) {
+  down_since_.assign(nodes_.size(), 0.0);
+  last_ping_delivered_.assign(nodes_.size(), first_arrival);
+  // Health pings per node, staggered to avoid synchronized bursts.
+  for (const auto& node : nodes_) {
+    const NodeId nid = node.id();
+    const double offset = host_.config().health_ping_interval *
+                          (static_cast<double>(nid) /
+                           static_cast<double>(nodes_.size()));
+    last_ping_delivered_[static_cast<size_t>(nid)] = first_arrival + offset;
+    host_.queue().schedule(first_arrival + offset,
+                           [this, nid] { health_ping(nid); });
+  }
+}
+
+bool ClusterState::node_suspected_down(NodeId id) const {
+  if (!host_.fault_active()) return false;
+  const auto idx = static_cast<size_t>(id);
+  if (idx >= last_ping_delivered_.size()) return false;
+  return host_.queue().now() - last_ping_delivered_[idx] >
+         host_.config().suspect_after_missed_pings *
+             host_.config().health_ping_interval;
+}
+
+void ClusterState::health_ping(NodeId node_id) {
+  if (!node(node_id).up()) {
+    // A dead node sends nothing; the controller's view goes stale until the
+    // node recovers and its next ping is delivered.
+  } else if (host_.fault_active() &&
+             host_.fault()->drop_health_ping(node_id, host_.queue().now())) {
+    ++host_.metrics().dropped_health_pings;
+  } else {
+    const double delay =
+        host_.fault_active()
+            ? host_.fault()->health_ping_delay(node_id, host_.queue().now())
+            : 0.0;
+    if (delay > 0.0) {
+      ++host_.metrics().delayed_health_pings;
+      host_.queue().schedule_after(delay, [this, node_id] {
+        if (!node(node_id).up()) return;  // died while the ping was in flight
+        last_ping_delivered_[static_cast<size_t>(node_id)] =
+            host_.queue().now();
+        host_.policy().on_health_ping(node_id, host_.api());
+      });
+    } else {
+      last_ping_delivered_[static_cast<size_t>(node_id)] = host_.queue().now();
+      host_.policy().on_health_ping(node_id, host_.api());
+    }
+  }
+  if (host_.fault_active()) {
+    // Parked invocations are normally retried when a completion frees
+    // capacity; under churn that signal can never come (everything on the
+    // node died), so the ping loop doubles as a recovery sweep.
+    host_.controller().expire_overdue_waiting();
+    host_.controller().retry_waiting();
+  }
+  if (host_.run_live()) {
+    host_.queue().schedule_after(host_.config().health_ping_interval,
+                                 [this, node_id] { health_ping(node_id); });
+  }
+  host_.notify_audit("health_ping", kNoInvocation, node_id);
+}
+
+void ClusterState::on_node_down(NodeId node_id) {
+  Node& n = node(node_id);
+  if (!n.up()) return;  // churn timeline is coalesced, but stay idempotent
+  ++host_.metrics().node_crashes;
+  down_since_[static_cast<size_t>(node_id)] = host_.queue().now();
+  // Policy first (harvest-safety invariant): it must preemptively release
+  // every pool entry and revoke every grant tied to this node while the
+  // invocation state is still intact.
+  host_.policy().on_node_down(node_id, host_.api());
+  n.set_up(false);
+  std::vector<InvocationId> victims;
+  for (const auto& [id, inv] : host_.invocations_map())
+    if (!inv.done && inv.node == node_id) victims.push_back(id);
+  std::sort(victims.begin(), victims.end());  // map order is not deterministic
+  for (InvocationId id : victims) host_.lifecycle().kill_invocation(id);
+  n.containers().clear();
+  n.check_quiescent();
+  record_series();
+  host_.notify_audit("node_down", kNoInvocation, node_id);
+}
+
+void ClusterState::on_node_up(NodeId node_id) {
+  Node& n = node(node_id);
+  if (n.up()) return;
+  n.set_up(true);
+  ++host_.metrics().node_recoveries;
+  host_.metrics().recovery_latencies.push_back(
+      host_.queue().now() - down_since_[static_cast<size_t>(node_id)]);
+  // The node rejoins empty. The controller only learns it is back when the
+  // next health ping is delivered — last_ping_delivered_ is left stale on
+  // purpose, so schedulers keep avoiding it for up to one ping interval.
+  host_.policy().on_node_up(node_id, host_.api());
+  host_.controller().retry_waiting();
+  host_.notify_audit("node_up", kNoInvocation, node_id);
+}
+
+void ClusterState::refresh_usage(const Invocation& inv, bool stopping) {
+  auto it = usage_contrib_.find(inv.id);
+  if (it != usage_contrib_.end()) {
+    used_now_ -= it->second;
+    usage_contrib_.erase(it);
+  }
+  if (!stopping && (inv.running || !inv.done)) {
+    const ExecutionModel& exec = host_.api().exec_model();
+    const Resources contrib =
+        inv.running ? Resources{exec.cpu_usage(inv.effective, inv.truth),
+                                std::min(inv.effective.mem,
+                                         inv.truth.demand.mem)}
+                    : Resources{0.0, 0.0};
+    if (!contrib.is_zero()) {
+      used_now_ += contrib;
+      usage_contrib_.emplace(inv.id, contrib);
+    }
+  }
+  used_now_ = used_now_.clamped_non_negative();
+}
+
+void ClusterState::record_series() {
+  const SimTime t = host_.queue().now();
+  RunMetrics& m = host_.metrics();
+  m.cpu_used.record(t, used_now_.cpu);
+  m.mem_used.record(t, used_now_.mem);
+  Resources alloc;
+  for (const auto& n : nodes_) alloc += n.allocated();
+  m.cpu_allocated.record(t, alloc.cpu);
+  m.mem_allocated.record(t, alloc.mem);
+}
+
+}  // namespace libra::sim

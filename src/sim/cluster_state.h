@@ -1,0 +1,70 @@
+// Cluster layer: owns the worker nodes, the set of placed invocations, the
+// controller's ping-based health view, the churn bookkeeping and the
+// cluster-wide usage/allocation series. Everything node- or cluster-scoped
+// that the old monolithic engine tracked lives here; the lifecycle and
+// controller layers reach it through EngineHost::cluster().
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/engine_host.h"
+#include "sim/node.h"
+
+namespace libra::sim {
+
+class ClusterState {
+ public:
+  /// Builds the node fleet from host.config() and accumulates the total
+  /// capacity into host.metrics().
+  explicit ClusterState(EngineHost& host);
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+  Node& node(NodeId id) { return nodes_.at(static_cast<size_t>(id)); }
+
+  void insert_placed(InvocationId id) { placed_.insert(id); }
+  void erase_placed(InvocationId id) { placed_.erase(id); }
+  /// Invocations currently holding a node reservation, in ascending id order.
+  std::vector<InvocationId> placed_invocations() const;
+
+  /// Initializes the health view and schedules the staggered per-node ping
+  /// loops. Called once from Engine::run after the fault injector exists.
+  void start_health_pings(SimTime first_arrival);
+
+  /// Controller-side suspicion from missed pings (§6.4); deliberately stale.
+  bool node_suspected_down(NodeId id) const;
+
+  /// Per-node health ping: refreshes the controller's view and the policy's
+  /// piggybacked pool snapshot; doubles as the parked-invocation recovery
+  /// sweep while fault injection is active.
+  void health_ping(NodeId node_id);
+
+  // ---- Churn timeline handlers ----
+  void on_node_down(NodeId node_id);
+  void on_node_up(NodeId node_id);
+
+  // ---- Cluster-wide usage accounting ----
+  /// Re-derives the invocation's contribution to the live usage sums.
+  void refresh_usage(const Invocation& inv, bool stopping);
+  /// Samples the four cluster series (used / allocated, cpu / mem) now.
+  void record_series();
+
+ private:
+  EngineHost& host_;
+  std::vector<Node> nodes_;
+
+  std::vector<SimTime> last_ping_delivered_;  // controller health view
+  std::vector<SimTime> down_since_;           // crash time per down node
+
+  /// Live invocations currently holding a node reservation; kept in lockstep
+  /// with try_reserve/release so audits stay O(placed), not O(all ever run).
+  std::unordered_set<InvocationId> placed_;
+
+  // Live usage accounting (cluster-wide sums, updated incrementally).
+  Resources used_now_;
+  // Per-invocation usage contribution currently reflected in used_now_.
+  std::unordered_map<InvocationId, Resources> usage_contrib_;
+};
+
+}  // namespace libra::sim

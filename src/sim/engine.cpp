@@ -1,15 +1,12 @@
 #include "sim/engine.h"
 
 #include <algorithm>
-#include <chrono>
-#include <cmath>
 #include <limits>
 #include <stdexcept>
 #include <string>
 
 #include "util/audit.h"
 #include "util/log.h"
-#include "util/rng.h"
 
 namespace libra::sim {
 
@@ -36,6 +33,9 @@ Engine::Engine(EngineConfig cfg, std::shared_ptr<Policy> policy)
   if (cfg_.monitor_interval <= 0 || cfg_.health_ping_interval <= 0)
     throw std::invalid_argument(
         "Engine: monitor_interval and health_ping_interval must be positive");
+  if (cfg_.sched_workers < 1)
+    throw std::invalid_argument("Engine: sched_workers must be >= 1, got " +
+                                std::to_string(cfg_.sched_workers));
   if (cfg_.retry_backoff_base < 0 || cfg_.retry_backoff_cap < 0 ||
       cfg_.max_fault_retries < 0 || cfg_.max_oom_retries < 0 ||
       cfg_.placement_timeout <= 0 ||
@@ -43,15 +43,12 @@ Engine::Engine(EngineConfig cfg, std::shared_ptr<Policy> policy)
     throw std::invalid_argument("Engine: invalid fault-recovery knobs");
   cfg_.fault_plan.validate(cfg_.node_capacities.size());
   cfg_.fault_profile.validate();
-  nodes_.reserve(cfg_.node_capacities.size());
-  for (size_t i = 0; i < cfg_.node_capacities.size(); ++i) {
-    nodes_.emplace_back(static_cast<NodeId>(i), cfg_.node_capacities[i],
-                        cfg_.num_shards, cfg_.container);
-    metrics_.total_capacity += cfg_.node_capacities[i];
-  }
-  shard_queues_.resize(static_cast<size_t>(cfg_.num_shards));
-  shard_busy_until_.assign(static_cast<size_t>(cfg_.num_shards), 0.0);
-  shard_pump_scheduled_.assign(static_cast<size_t>(cfg_.num_shards), false);
+  // The private-base upcast must happen here, inside Engine, where the base
+  // is accessible (make_unique would convert in an inaccessible context).
+  EngineHost& host = *this;
+  cluster_ = std::make_unique<ClusterState>(host);
+  lifecycle_ = std::make_unique<InvocationLifecycle>(host, exec_);
+  controller_ = std::make_unique<ShardedController>(host);
 }
 
 Invocation& Engine::invocation(InvocationId id) {
@@ -64,12 +61,6 @@ Invocation& Engine::invocation(InvocationId id) {
 bool Engine::invocation_alive(InvocationId id) const {
   auto it = invocations_.find(id);
   return it != invocations_.end() && !it->second.done;
-}
-
-std::vector<InvocationId> Engine::placed_invocations() const {
-  std::vector<InvocationId> out(placed_.begin(), placed_.end());
-  std::sort(out.begin(), out.end());  // set order is not deterministic
-  return out;
 }
 
 void Engine::notify_audit(const char* what, InvocationId inv, NodeId node_id) {
@@ -108,34 +99,22 @@ RunMetrics Engine::run(std::vector<Invocation> trace) {
   // Fault injection: materialize the churn timeline (scripted outages plus
   // the sampled crash process) and schedule it like any other event.
   fault_ = std::make_unique<fault::FaultInjector>(
-      cfg_.fault_plan, cfg_.fault_profile, nodes_.size(),
+      cfg_.fault_plan, cfg_.fault_profile, cluster_->nodes().size(),
       last_arrival + cfg_.churn_horizon_pad);
-  down_since_.assign(nodes_.size(), 0.0);
-  last_ping_delivered_.assign(nodes_.size(), metrics_.first_arrival);
   for (const auto& ev : fault_->churn()) {
     const NodeId nid = ev.node;
     if (ev.down)
-      queue_.schedule(ev.time, [this, nid] { on_node_down(nid); });
+      queue_.schedule(ev.time, [this, nid] { cluster_->on_node_down(nid); });
     else
-      queue_.schedule(ev.time, [this, nid] { on_node_up(nid); });
+      queue_.schedule(ev.time, [this, nid] { cluster_->on_node_up(nid); });
   }
-  // Health pings per node, staggered to avoid synchronized bursts.
-  for (const auto& node : nodes_) {
-    const NodeId nid = node.id();
-    const double offset = cfg_.health_ping_interval *
-                          (static_cast<double>(nid) /
-                           static_cast<double>(nodes_.size()));
-    last_ping_delivered_[static_cast<size_t>(nid)] =
-        metrics_.first_arrival + offset;
-    queue_.schedule(metrics_.first_arrival + offset,
-                    [this, nid] { health_ping(nid); });
-  }
+  cluster_->start_health_pings(metrics_.first_arrival);
   queue_.run();
 
   // Park records for anything that never reached completion (capacity
   // starvation) so the caller sees every invocation exactly once.
   for (auto& [id, inv] : invocations_) {
-    if (!inv.done) finalize_record(inv);
+    if (!inv.done) lifecycle_->finalize_record(inv);
   }
   metrics_.incomplete = 0;
   for (const auto& rec : metrics_.invocations)
@@ -147,7 +126,7 @@ RunMetrics Engine::run(std::vector<Invocation> trace) {
     LIBRA_WARN() << metrics_.lost_invocations
                  << " invocations lost to fault injection";
   long cold = 0, warm = 0;
-  for (const auto& node : nodes_) {
+  for (const auto& node : cluster_->nodes()) {
     cold += node.containers().total_cold_starts();
     warm += node.containers().total_warm_starts();
   }
@@ -168,594 +147,8 @@ void Engine::on_profiled(InvocationId id) {
   Invocation& inv = invocation(id);
   policy_->predict(inv);
   inv.t_profiler_done = now() + cfg_.profiler_delay;
-  queue_.schedule(inv.t_profiler_done, [this, id] {
-    Invocation& v = invocation(id);
-    // Front ends spray invocations across shards; id-based assignment models
-    // the decentralized, stateless dispatch of §6.4.
-    v.shard = static_cast<ShardId>(v.id % cfg_.num_shards);
-    v.t_sched_enqueue = now();
-    // Reject invocations that can never fit a shard slice anywhere.
-    bool can_fit = false;
-    for (const auto& node : nodes_)
-      if (v.user_alloc.fits_in(node.shard_capacity())) can_fit = true;
-    if (!can_fit) {
-      LIBRA_ERROR() << "invocation " << v.id
-                    << " can never fit any shard slice; dropping";
-      v.done = true;
-      ++completed_;  // terminal: keeps health pings from looping forever
-      finalize_record(v);
-      return;
-    }
-    shard_queues_[static_cast<size_t>(v.shard)].push_back(id);
-    pump_shard(v.shard);
-  });
-}
-
-void Engine::pump_shard(ShardId shard) {
-  const auto s = static_cast<size_t>(shard);
-  if (shard_pump_scheduled_[s] || shard_queues_[s].empty()) return;
-  shard_pump_scheduled_[s] = true;
-  const SimTime at = std::max(now(), shard_busy_until_[s]);
-  queue_.schedule(at, [this, shard] { process_shard(shard); });
-}
-
-void Engine::process_shard(ShardId shard) {
-  const auto s = static_cast<size_t>(shard);
-  shard_pump_scheduled_[s] = false;
-  if (shard_queues_[s].empty()) return;
-  const InvocationId id = shard_queues_[s].front();
-  shard_queues_[s].pop_front();
-  shard_busy_until_[s] = now() + cfg_.sched_decision_delay;
-  try_place(id);
-  pump_shard(shard);
-}
-
-void Engine::try_place(InvocationId id) {
-  Invocation& inv = invocation(id);
-  if (inv.done) return;
-  NodeId chosen = kNoNode;
-  if (cfg_.measure_real_sched_overhead) {
-    const auto t0 = std::chrono::steady_clock::now();
-    chosen = policy_->select_node(inv, *this);
-    const auto t1 = std::chrono::steady_clock::now();
-    metrics_.sched_overhead_seconds.push_back(
-        std::chrono::duration<double>(t1 - t0).count());
-  } else {
-    chosen = policy_->select_node(inv, *this);
-  }
-  if (chosen != kNoNode && !node(chosen).up()) {
-    // The scheduler worked from a stale health view / pool snapshot and
-    // picked a dead node; the dispatch times out controller-side.
-    ++metrics_.stale_snapshot_decisions;
-    chosen = kNoNode;
-  }
-  if (chosen == kNoNode ||
-      !node(chosen).try_reserve(inv.shard, inv.user_alloc)) {
-    ++inv.park_count;
-    waiting_.push_back(id);
-    notify_audit("park", id);
-    return;
-  }
-  inv.node = chosen;
-  placed_.insert(id);
-  inv.t_sched_done = now();
-  record_series();
-
-  // Container acquisition happens before the pool transaction so a failed
-  // cold start can unwind without having touched the harvest pools.
-  const auto acq = node(chosen).containers().acquire(inv.func, now());
-  inv.cold_start = acq.cold;
-  if (acq.cold && fault_active() && fault_->fail_cold_start(chosen, now())) {
-    ++metrics_.cold_start_failures;
-    node(chosen).release(inv.shard, inv.user_alloc);
-    inv.node = kNoNode;
-    placed_.erase(id);
-    record_series();
-    // The failure only surfaces after the attempted creation time.
-    retry_or_lose(inv, acq.delay);
-    notify_audit("cold_start_failure", id, chosen);
-    return;
-  }
-
-  const AllocationPlan plan = policy_->plan_allocation(inv, *this);
-  inv.effective = plan.effective;
-  inv.t_pool_done = now() + cfg_.pool_op_delay;
-
-  const uint64_t epoch = ++inv.placement_epoch;
-  queue_.schedule(inv.t_pool_done + acq.delay,
-                  [this, id, epoch] { begin_execution(id, epoch); });
-  notify_audit("placement", id, chosen);
-}
-
-void Engine::begin_execution(InvocationId id, uint64_t epoch) {
-  Invocation& inv = invocation(id);
-  if (inv.done || epoch != inv.placement_epoch) return;
-  inv.running = true;
-  inv.t_exec_start = now();
-  inv.max_effective = Resources::max(inv.max_effective, inv.effective);
-  inv.progress = 0.0;
-  inv.last_progress_update = now();
-  node(inv.node).invocation_started();
-  refresh_usage(inv, /*starting=*/true, /*stopping=*/false);
-  record_series();
-  schedule_progress_events(inv);
-  if (policy_->wants_monitor(inv)) {
-    inv.monitor_event = queue_.schedule_after(
-        cfg_.monitor_interval, [this, id] { monitor_tick(id); });
-  }
-  notify_audit("exec_start", id, inv.node);
-}
-
-void Engine::schedule_progress_events(Invocation& inv) {
-  if (inv.completion_event != kInvalidEvent) {
-    queue_.cancel(inv.completion_event);
-    inv.completion_event = kInvalidEvent;
-  }
-  const uint64_t generation = ++inv.completion_generation;
-  const InvocationId id = inv.id;
-  if (exec_.below_oom_floor(inv.effective, inv.truth)) {
-    // Container can't even hold the runtime: OOM fires immediately.
-    inv.completion_event = queue_.schedule_after(
-        1e-3, [this, id, generation] { handle_oom(id, generation); });
-    return;
-  }
-  const double r = exec_.rate(inv.effective, inv.truth);
-  if (r <= 0.0) {
-    LIBRA_ERROR() << "invocation " << id << " has zero progress rate";
-    return;
-  }
-  const double remaining = std::max(0.0, inv.truth.work - inv.progress);
-  inv.completion_event =
-      queue_.schedule_after(remaining / r, [this, id, generation] {
-        handle_completion(id, generation);
-      });
-}
-
-void Engine::fold_progress(Invocation& inv) {
-  const double dt = std::max(0.0, now() - inv.last_progress_update);
-  if (dt > 0.0 && inv.running) {
-    inv.progress += exec_.rate(inv.effective, inv.truth) * dt;
-    inv.progress = std::min(inv.progress, inv.truth.work + 1e-9);
-    inv.reassigned_core_seconds +=
-        (inv.borrowed_in.cpu - inv.harvested_out.cpu) * dt;
-    inv.reassigned_mb_seconds +=
-        (inv.borrowed_in.mem - inv.harvested_out.mem) * dt;
-  }
-  inv.last_progress_update = now();
-}
-
-void Engine::update_effective(InvocationId id, const Resources& effective) {
-  Invocation& inv = invocation(id);
-  if (inv.done) return;
-  if (!inv.running) {
-    // Allocation changed before the container started (e.g. a grant was
-    // revoked during the cold start); just adopt the new value.
-    inv.effective = effective;
-    return;
-  }
-  fold_progress(inv);
-  inv.effective = effective;
-  inv.max_effective = Resources::max(inv.max_effective, effective);
-  refresh_usage(inv, /*starting=*/false, /*stopping=*/false);
-  record_series();
-  schedule_progress_events(inv);
-}
-
-Resources Engine::observed_usage(InvocationId id) const {
-  auto it = invocations_.find(id);
-  if (it == invocations_.end())
-    throw std::out_of_range("observed_usage: unknown invocation");
-  const Invocation& inv = it->second;
-  if (!inv.running) return {0.0, 0.0};
-  // Instantaneous usage fluctuates below the peak; a monitor samples one
-  // instant. Deterministic per (invocation, tick) jitter in [0.88, 1].
-  const uint64_t tick =
-      static_cast<uint64_t>(now() / std::max(1e-3, cfg_.monitor_interval));
-  const double jitter =
-      0.88 + 0.12 * (static_cast<double>(util::mix64(
-                         static_cast<uint64_t>(inv.id) * 0x9e37 + tick) >>
-                     11) *
-                     0x1.0p-53);
-  const double cpu =
-      std::min(inv.effective.cpu,
-               exec_.cpu_usage(inv.effective, inv.truth) * jitter);
-  const double frac =
-      inv.truth.work > 0
-          ? std::min(1.0, (inv.progress +
-                           exec_.rate(inv.effective, inv.truth) *
-                               std::max(0.0, now() - inv.last_progress_update)) /
-                              inv.truth.work)
-          : 1.0;
-  const double mem =
-      std::min(exec_.mem_usage(frac, inv.truth), inv.effective.mem);
-  return {cpu, mem};
-}
-
-void Engine::sync_accounting(InvocationId id) {
-  auto it = invocations_.find(id);
-  if (it == invocations_.end()) return;
-  Invocation& inv = it->second;
-  if (inv.running && !inv.done) fold_progress(inv);
-}
-
-Resources Engine::observed_peak(InvocationId id) const {
-  auto it = invocations_.find(id);
-  if (it == invocations_.end())
-    throw std::out_of_range("observed_peak: unknown invocation");
-  const Invocation& inv = it->second;
-  return Resources::min(inv.truth.demand, inv.max_effective);
-}
-
-void Engine::monitor_tick(InvocationId id) {
-  auto it = invocations_.find(id);
-  if (it == invocations_.end()) return;
-  Invocation& inv = it->second;
-  inv.monitor_event = kInvalidEvent;
-  if (inv.done || !inv.running) return;
-  if (fault_active() && fault_->suppress_monitor_tick(inv.node, now())) {
-    // The monitor agent missed this window; the safeguard fires a tick late.
-    ++metrics_.suppressed_monitor_ticks;
-  } else {
-    policy_->on_monitor(inv, *this);
-  }
-  if (!inv.done && policy_->wants_monitor(inv)) {
-    inv.monitor_event = queue_.schedule_after(
-        cfg_.monitor_interval, [this, id] { monitor_tick(id); });
-  }
-  notify_audit("monitor", id, inv.node);
-}
-
-void Engine::handle_oom(InvocationId id, uint64_t generation) {
-  Invocation& inv = invocation(id);
-  if (inv.done || generation != inv.completion_generation) return;
-  fold_progress(inv);
-  ++inv.oom_count;
-  ++metrics_.oom_events;
-  policy_->on_oom(inv, *this);  // must pull back inv's harvested resources
-  if (cfg_.oom_redispatch) {
-    // Graceful degradation: tear the container down and re-dispatch on the
-    // dedicated OOM budget instead of restarting in place.
-    redispatch_after_oom(inv);
-    notify_audit("oom");
-    return;
-  }
-  // Restart: lose all progress, pay the restart penalty, resume with the
-  // user-defined allocation plus whatever the invocation still borrows.
-  inv.progress = 0.0;
-  inv.effective = inv.user_alloc + inv.borrowed_in + inv.probe_extra;
-  inv.last_progress_update = now() + cfg_.oom_restart_penalty;
-  refresh_usage(inv, false, false);
-  record_series();
-  const uint64_t next_gen = ++inv.completion_generation;
-  const InvocationId iid = inv.id;
-  queue_.schedule_after(cfg_.oom_restart_penalty, [this, iid, next_gen] {
-    Invocation& v = invocation(iid);
-    if (v.done || next_gen != v.completion_generation) return;
-    schedule_progress_events(v);
-  });
-  notify_audit("oom");
-}
-
-void Engine::redispatch_after_oom(Invocation& inv) {
-  // The policy already pulled back everything harvested from it (on_oom);
-  // on_evicted must additionally return what it still BORROWS — its node and
-  // the pool live on, unlike the node-death path.
-  policy_->on_evicted(inv, *this);
-  ++inv.completion_generation;  // invalidates completion / OOM events
-  ++inv.placement_epoch;        // invalidates a pending container start
-  if (inv.completion_event != kInvalidEvent) {
-    queue_.cancel(inv.completion_event);
-    inv.completion_event = kInvalidEvent;
-  }
-  if (inv.monitor_event != kInvalidEvent) {
-    queue_.cancel(inv.monitor_event);
-    inv.monitor_event = kInvalidEvent;
-  }
-  refresh_usage(inv, false, /*stopping=*/true);
-  Node& n = node(inv.node);
-  if (inv.running) n.invocation_finished();
-  n.containers().release(inv.func, now());
-  n.release(inv.shard, inv.user_alloc + inv.probe_extra);
-  placed_.erase(inv.id);
-  inv.running = false;
-  inv.node = kNoNode;
-  inv.progress = 0.0;
-  inv.cold_start = false;
-  inv.profiling_probe = false;
-  inv.harvested_out = Resources{};
-  inv.borrowed_in = Resources{};
-  inv.probe_extra = Resources{};
-  inv.effective = inv.user_alloc;
-  record_series();
-  if (inv.oom_retry_count >= cfg_.max_oom_retries) {
-    ++metrics_.oom_terminal_losses;
-    lose_invocation(inv);
-  } else {
-    const double backoff =
-        std::min(cfg_.retry_backoff_cap,
-                 cfg_.retry_backoff_base * std::pow(2.0, inv.oom_retry_count));
-    ++inv.oom_retry_count;
-    ++metrics_.oom_retries;
-    // The rescue contract: the next dispatch runs at the full user-defined
-    // allocation — no harvesting, no probes (see LibraPolicy).
-    inv.oom_protected = true;
-    const InvocationId id = inv.id;
-    queue_.schedule_after(cfg_.oom_restart_penalty + backoff,
-                          [this, id] { requeue_after_fault(id); });
-  }
-  retry_waiting();  // the freed reservation may unpark someone
-}
-
-void Engine::handle_completion(InvocationId id, uint64_t generation) {
-  Invocation& inv = invocation(id);
-  if (inv.done || generation != inv.completion_generation) return;
-  fold_progress(inv);
-  inv.done = true;
-  inv.running = false;
-  inv.t_finish = now();
-  if (inv.monitor_event != kInvalidEvent) {
-    queue_.cancel(inv.monitor_event);
-    inv.monitor_event = kInvalidEvent;
-  }
-  refresh_usage(inv, false, /*stopping=*/true);
-  Node& n = node(inv.node);
-  n.invocation_finished();
-  n.containers().release(inv.func, now());
-  n.release(inv.shard, inv.user_alloc + inv.probe_extra);
-  placed_.erase(id);
-  record_series();
-
-  policy_->on_complete(inv, *this);
-
-  ++completed_;
-  metrics_.makespan_end = std::max(metrics_.makespan_end, now());
-  finalize_record(inv);
-  retry_waiting();
-  notify_audit("completion", id, n.id());
-}
-
-void Engine::retry_waiting() {
-  if (waiting_.empty()) return;
-  // Capacity freed: hand parked invocations back to their shards in FIFO
-  // order. They pay another scheduling decision, like OpenWhisk retries.
-  std::deque<InvocationId> parked;
-  parked.swap(waiting_);
-  for (auto it = parked.rbegin(); it != parked.rend(); ++it) {
-    const Invocation& inv = invocation(*it);
-    shard_queues_[static_cast<size_t>(inv.shard)].push_front(*it);
-  }
-  for (ShardId s = 0; s < cfg_.num_shards; ++s) pump_shard(s);
-}
-
-void Engine::health_ping(NodeId node_id) {
-  if (!node(node_id).up()) {
-    // A dead node sends nothing; the controller's view goes stale until the
-    // node recovers and its next ping is delivered.
-  } else if (fault_active() && fault_->drop_health_ping(node_id, now())) {
-    ++metrics_.dropped_health_pings;
-  } else {
-    const double delay =
-        fault_active() ? fault_->health_ping_delay(node_id, now()) : 0.0;
-    if (delay > 0.0) {
-      ++metrics_.delayed_health_pings;
-      queue_.schedule_after(delay, [this, node_id] {
-        if (!node(node_id).up()) return;  // died while the ping was in flight
-        last_ping_delivered_[static_cast<size_t>(node_id)] = now();
-        policy_->on_health_ping(node_id, *this);
-      });
-    } else {
-      last_ping_delivered_[static_cast<size_t>(node_id)] = now();
-      policy_->on_health_ping(node_id, *this);
-    }
-  }
-  if (fault_active()) {
-    // Parked invocations are normally retried when a completion frees
-    // capacity; under churn that signal can never come (everything on the
-    // node died), so the ping loop doubles as a recovery sweep.
-    expire_overdue_waiting();
-    retry_waiting();
-  }
-  if (completed_ < total_) {
-    queue_.schedule_after(cfg_.health_ping_interval,
-                          [this, node_id] { health_ping(node_id); });
-  }
-  notify_audit("health_ping", kNoInvocation, node_id);
-}
-
-bool Engine::node_suspected_down(NodeId id) const {
-  if (!fault_ || !fault_->active()) return false;
-  const auto idx = static_cast<size_t>(id);
-  if (idx >= last_ping_delivered_.size()) return false;
-  return queue_.now() - last_ping_delivered_[idx] >
-         cfg_.suspect_after_missed_pings * cfg_.health_ping_interval;
-}
-
-void Engine::on_node_down(NodeId node_id) {
-  Node& n = node(node_id);
-  if (!n.up()) return;  // churn timeline is coalesced, but stay idempotent
-  ++metrics_.node_crashes;
-  down_since_[static_cast<size_t>(node_id)] = now();
-  // Policy first (harvest-safety invariant): it must preemptively release
-  // every pool entry and revoke every grant tied to this node while the
-  // invocation state is still intact.
-  policy_->on_node_down(node_id, *this);
-  n.set_up(false);
-  std::vector<InvocationId> victims;
-  for (const auto& [id, inv] : invocations_)
-    if (!inv.done && inv.node == node_id) victims.push_back(id);
-  std::sort(victims.begin(), victims.end());  // map order is not deterministic
-  for (InvocationId id : victims) kill_invocation(id);
-  n.containers().clear();
-  n.check_quiescent();
-  record_series();
-  notify_audit("node_down", kNoInvocation, node_id);
-}
-
-void Engine::on_node_up(NodeId node_id) {
-  Node& n = node(node_id);
-  if (n.up()) return;
-  n.set_up(true);
-  ++metrics_.node_recoveries;
-  metrics_.recovery_latencies.push_back(
-      now() - down_since_[static_cast<size_t>(node_id)]);
-  // The node rejoins empty. The controller only learns it is back when the
-  // next health ping is delivered — last_ping_delivered_ is left stale on
-  // purpose, so schedulers keep avoiding it for up to one ping interval.
-  policy_->on_node_up(node_id, *this);
-  retry_waiting();
-  notify_audit("node_up", kNoInvocation, node_id);
-}
-
-void Engine::kill_invocation(InvocationId id) {
-  Invocation& inv = invocation(id);
-  if (inv.done || inv.node == kNoNode) return;
-  fold_progress(inv);
-  ++inv.completion_generation;  // invalidates completion / OOM events
-  ++inv.placement_epoch;        // invalidates a pending container start
-  if (inv.completion_event != kInvalidEvent) {
-    queue_.cancel(inv.completion_event);
-    inv.completion_event = kInvalidEvent;
-  }
-  if (inv.monitor_event != kInvalidEvent) {
-    queue_.cancel(inv.monitor_event);
-    inv.monitor_event = kInvalidEvent;
-  }
-  refresh_usage(inv, false, /*stopping=*/true);
-  Node& n = node(inv.node);
-  if (inv.running) n.invocation_finished();
-  n.release(inv.shard, inv.user_alloc + inv.probe_extra);
-  placed_.erase(id);
-  // Whatever was harvested from / lent to it died with the node; the policy
-  // already reconciled its pool state in on_node_down.
-  inv.running = false;
-  inv.node = kNoNode;
-  inv.progress = 0.0;
-  inv.cold_start = false;
-  inv.harvested_out = Resources{};
-  inv.borrowed_in = Resources{};
-  inv.probe_extra = Resources{};
-  inv.effective = inv.user_alloc;
-  record_series();
-  retry_or_lose(inv, 0.0);
-}
-
-void Engine::retry_or_lose(Invocation& inv, double extra_delay) {
-  if (inv.fault_retry_count >= cfg_.max_fault_retries) {
-    lose_invocation(inv);
-    return;
-  }
-  const double backoff =
-      std::min(cfg_.retry_backoff_cap,
-               cfg_.retry_backoff_base * std::pow(2.0, inv.fault_retry_count));
-  ++inv.fault_retry_count;
-  ++metrics_.fault_retries;
-  const InvocationId id = inv.id;
-  queue_.schedule_after(extra_delay + backoff,
-                        [this, id] { requeue_after_fault(id); });
-}
-
-void Engine::requeue_after_fault(InvocationId id) {
-  Invocation& inv = invocation(id);
-  if (inv.done) return;
-  inv.t_sched_enqueue = now();  // placement timeout restarts per attempt
-  shard_queues_[static_cast<size_t>(inv.shard)].push_back(id);
-  pump_shard(inv.shard);
-  notify_audit("requeue", id);
-}
-
-void Engine::lose_invocation(Invocation& inv) {
-  if (inv.done) return;
-  inv.done = true;
-  inv.running = false;
-  inv.lost = true;
-  ++metrics_.lost_invocations;
-  ++completed_;  // terminal: the run must be able to finish without it
-  finalize_record(inv);
-}
-
-void Engine::expire_overdue_waiting() {
-  if (waiting_.empty()) return;
-  std::deque<InvocationId> keep;
-  for (InvocationId id : waiting_) {
-    Invocation& inv = invocation(id);
-    if (inv.done) continue;
-    if (now() - inv.t_sched_enqueue > cfg_.placement_timeout)
-      lose_invocation(inv);
-    else
-      keep.push_back(id);
-  }
-  waiting_.swap(keep);
-}
-
-void Engine::refresh_usage(const Invocation& inv, bool starting,
-                           bool stopping) {
-  (void)starting;
-  auto it = usage_contrib_.find(inv.id);
-  if (it != usage_contrib_.end()) {
-    used_now_ -= it->second;
-    usage_contrib_.erase(it);
-  }
-  if (!stopping && (inv.running || !inv.done)) {
-    const Resources contrib = inv.running
-                                  ? Resources{exec_.cpu_usage(inv.effective, inv.truth),
-                                              std::min(inv.effective.mem,
-                                                       inv.truth.demand.mem)}
-                                  : Resources{0.0, 0.0};
-    if (!contrib.is_zero()) {
-      used_now_ += contrib;
-      usage_contrib_.emplace(inv.id, contrib);
-    }
-  }
-  used_now_ = used_now_.clamped_non_negative();
-}
-
-void Engine::record_series() {
-  const SimTime t = now();
-  metrics_.cpu_used.record(t, used_now_.cpu);
-  metrics_.mem_used.record(t, used_now_.mem);
-  Resources alloc;
-  for (const auto& n : nodes_) alloc += n.allocated();
-  metrics_.cpu_allocated.record(t, alloc.cpu);
-  metrics_.mem_allocated.record(t, alloc.mem);
-}
-
-void Engine::finalize_record(Invocation& inv) {
-  InvocationRecord rec;
-  rec.id = inv.id;
-  rec.func = inv.func;
-  rec.arrival = inv.arrival;
-  rec.exec_start = inv.t_exec_start;
-  rec.finish = inv.t_finish;
-  rec.completed = inv.t_finish >= 0.0;
-  rec.lost = inv.lost;
-  rec.fault_retries = inv.fault_retry_count;
-  rec.oom_retries = inv.oom_retry_count;
-  rec.outcome = inv.outcome();
-  rec.cold_start = inv.cold_start;
-  rec.oom_count = inv.oom_count;
-  rec.user_alloc = inv.user_alloc;
-  rec.pred_demand = inv.pred_demand;
-  rec.true_demand = inv.truth.demand;
-  rec.reassigned_core_seconds = inv.reassigned_core_seconds;
-  rec.reassigned_mb_seconds = inv.reassigned_mb_seconds;
-  if (rec.completed) {
-    rec.response_latency = inv.response_latency();
-    // Eq. 1 baseline: same pipeline latency, execution with the static
-    // user-defined allocation.
-    const double pipeline = inv.t_exec_start - inv.arrival;
-    rec.user_latency = pipeline + exec_.exec_time(inv.user_alloc, inv.truth);
-    rec.speedup = rec.user_latency > 0
-                      ? (rec.user_latency - rec.response_latency) /
-                            rec.user_latency
-                      : 0.0;
-    rec.stage_frontend = cfg_.frontend_delay;
-    rec.stage_profiler = cfg_.profiler_delay;
-    rec.stage_scheduler = std::max(0.0, inv.t_sched_done - inv.t_sched_enqueue);
-    rec.stage_pool = cfg_.pool_op_delay;
-    rec.stage_container = std::max(0.0, inv.t_exec_start - inv.t_pool_done);
-    rec.stage_exec = std::max(0.0, inv.t_finish - inv.t_exec_start);
-  }
-  metrics_.invocations.push_back(rec);
+  queue_.schedule(inv.t_profiler_done,
+                  [this, id] { controller_->admit(id); });
 }
 
 }  // namespace libra::sim

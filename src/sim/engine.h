@@ -2,84 +2,38 @@
 // Fig. 3 for every invocation in a trace against a pluggable Policy:
 //
 //   arrival -> frontend -> profiler (Policy::predict) -> shard queue ->
-//   scheduling decision (Policy::select_node) -> reservation ->
-//   harvest/accelerate (Policy::plan_allocation) -> container start ->
-//   execution (piecewise progress, monitor ticks, OOM) -> completion
-//   (Policy::on_complete, pending retries, model updates)
+//   scheduling decision (Policy::select_node / speculate_select) ->
+//   reservation -> harvest/accelerate (Policy::plan_allocation) ->
+//   container start -> execution (piecewise progress, monitor ticks, OOM) ->
+//   completion (Policy::on_complete, pending retries, model updates)
 //
-// Shards model the decentralized sharding schedulers of §6.4: each shard
-// serializes its own decisions with a configurable per-decision service time,
-// and each shard owns a 1/K horizontal slice of every node's capacity.
+// The engine itself is event-loop glue over three layers (see engine_host.h):
+//   ClusterState        — nodes, reservations, health view, usage series;
+//   InvocationLifecycle — the per-invocation state machine;
+//   ShardedController   — per-shard queues and the barrier-batched,
+//                         optionally parallel scheduling decisions of §6.4.
 #pragma once
 
-#include <deque>
 #include <memory>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
-#include "sim/audit_hook.h"
+#include "sim/cluster_state.h"
+#include "sim/engine_config.h"
+#include "sim/engine_host.h"
 #include "sim/event_queue.h"
 #include "sim/execution_model.h"
 #include "sim/fault/fault_injector.h"
 #include "sim/invocation.h"
+#include "sim/lifecycle.h"
 #include "sim/metrics.h"
-#include "sim/node.h"
 #include "sim/policy.h"
+#include "sim/sharded_controller.h"
 #include "sim/types.h"
 
 namespace libra::sim {
 
-struct EngineConfig {
-  std::vector<Resources> node_capacities;
-  int num_shards = 1;
-  ContainerPoolConfig container;
-  ExecutionModelConfig exec;
-
-  double frontend_delay = 0.0005;        // request admission
-  double profiler_delay = 0.002;         // §8.6: prediction < 2 ms
-  double sched_decision_delay = 0.0005;  // simulated per-decision service time
-  double pool_op_delay = 0.0002;         // harvest pool put/get
-  double monitor_interval = 0.1;         // §5.2 monitor window
-  double health_ping_interval = 1.0;     // pool-status piggyback period
-  double oom_restart_penalty = 1.0;      // container kill + restart cost
-  /// When true, times Policy::select_node with a real clock (Fig. 12c).
-  bool measure_real_sched_overhead = false;
-
-  // ---- Fault injection & recovery (src/sim/fault) ----
-  fault::FaultPlan fault_plan;        // scripted faults, replayed verbatim
-  fault::FaultProfile fault_profile;  // seeded probabilistic faults
-  /// Capped exponential backoff before re-dispatching an invocation killed
-  /// by a node crash or a failed cold start: base * 2^attempt, <= cap.
-  double retry_backoff_base = 0.1;
-  double retry_backoff_cap = 5.0;
-  /// Crash / cold-start-failure retries before an invocation is lost.
-  int max_fault_retries = 3;
-  /// OOM graceful degradation: instead of the classic in-place restart, an
-  /// OOM-killed invocation is torn off its node and re-dispatched with
-  /// capped backoff at its full user allocation (inv.oom_protected), its
-  /// harvested grants preemptively released via Policy::on_evicted. Off by
-  /// default — the paper's platforms restart in place.
-  bool oom_redispatch = false;
-  /// OOM re-dispatches before the invocation is lost (a budget deliberately
-  /// separate from max_fault_retries: churn-kills must not consume it).
-  int max_oom_retries = 3;
-  /// Parked invocations unplaceable for this long are declared lost.
-  /// Only enforced while fault injection is active (failure-free runs keep
-  /// the park-until-capacity-frees semantics).
-  double placement_timeout = 600.0;
-  /// The controller suspects a node after this many silent ping intervals.
-  double suspect_after_missed_pings = 3.0;
-  /// Sampled churn extends this far past the last trace arrival.
-  double churn_horizon_pad = 120.0;
-
-  /// Invariant auditor (src/analysis) notified after every dispatched event.
-  /// Non-owning; nullptr disables the cross-layer checks (the pool-internal
-  /// conservation audits still run).
-  EngineAuditHook* audit_hook = nullptr;
-};
-
-class Engine final : public EngineApi {
+class Engine final : public EngineApi, private EngineHost {
  public:
   Engine(EngineConfig cfg, std::shared_ptr<Policy> policy);
 
@@ -89,88 +43,73 @@ class Engine final : public EngineApi {
 
   // ---- EngineApi ----
   SimTime now() const override { return queue_.now(); }
-  const std::vector<Node>& nodes() const override { return nodes_; }
-  Node& node(NodeId id) override { return nodes_.at(static_cast<size_t>(id)); }
+  const std::vector<Node>& nodes() const override { return cluster_->nodes(); }
+  Node& node(NodeId id) override { return cluster_->node(id); }
   Invocation& invocation(InvocationId id) override;
   bool invocation_alive(InvocationId id) const override;
   const ExecutionModel& exec_model() const override { return exec_; }
-  void update_effective(InvocationId id, const Resources& effective) override;
-  void sync_accounting(InvocationId id) override;
-  Resources observed_usage(InvocationId id) const override;
-  Resources observed_peak(InvocationId id) const override;
-  bool node_suspected_down(NodeId id) const override;
-  std::vector<InvocationId> placed_invocations() const override;
+  void update_effective(InvocationId id, const Resources& effective) override {
+    lifecycle_->update_effective(id, effective);
+  }
+  void sync_accounting(InvocationId id) override {
+    lifecycle_->sync_accounting(id);
+  }
+  Resources observed_usage(InvocationId id) const override {
+    return lifecycle_->observed_usage(id);
+  }
+  Resources observed_peak(InvocationId id) const override {
+    return lifecycle_->observed_peak(id);
+  }
+  bool node_suspected_down(NodeId id) const override {
+    return cluster_->node_suspected_down(id);
+  }
+  std::vector<InvocationId> placed_invocations() const override {
+    return cluster_->placed_invocations();
+  }
 
  private:
+  // ---- EngineHost (the layers' view of the engine) ----
+  EventQueue& queue() override { return queue_; }
+  const EngineConfig& config() const override { return cfg_; }
+  Policy& policy() override { return *policy_; }
+  EngineApi& api() override { return *this; }
+  RunMetrics& metrics() override { return metrics_; }
+  ClusterState& cluster() override { return *cluster_; }
+  InvocationLifecycle& lifecycle() override { return *lifecycle_; }
+  ShardedController& controller() override { return *controller_; }
+  // Invocation& invocation(InvocationId) — the public EngineApi override
+  // above also overrides the identical EngineHost virtual.
+  std::unordered_map<InvocationId, Invocation>& invocations_map() override {
+    return invocations_;
+  }
+  bool fault_active() const override { return fault_ && fault_->active(); }
+  fault::FaultInjector* fault() override { return fault_.get(); }
+  void mark_terminal() override { ++completed_; }
+  bool run_live() const override { return completed_ < total_; }
+  void notify_audit(const char* what, InvocationId inv = kNoInvocation,
+                    NodeId node_id = kNoNode) override;
+
   void on_arrival(InvocationId id);
   void on_profiled(InvocationId id);
-  void pump_shard(ShardId shard);
-  void process_shard(ShardId shard);
-  void try_place(InvocationId id);
-  void begin_execution(InvocationId id, uint64_t epoch);
-  void schedule_progress_events(Invocation& inv);
-  void handle_completion(InvocationId id, uint64_t generation);
-  void handle_oom(InvocationId id, uint64_t generation);
-  void monitor_tick(InvocationId id);
-  void health_ping(NodeId node_id);
-  void retry_waiting();
-  // ---- Fault handling ----
-  void on_node_down(NodeId node_id);
-  void on_node_up(NodeId node_id);
-  /// Tears down one invocation on a crashing node and retries or loses it.
-  void kill_invocation(InvocationId id);
-  /// Backoff expired: hand the invocation back to its shard queue.
-  void requeue_after_fault(InvocationId id);
-  /// Terminal loss: the invocation will never complete.
-  void lose_invocation(Invocation& inv);
-  /// Schedules the post-kill retry, or loses the invocation when the retry
-  /// budget is exhausted. `extra_delay` is added on top of the backoff.
-  void retry_or_lose(Invocation& inv, double extra_delay);
-  /// OOM graceful degradation: tears the invocation off its (live) node and
-  /// re-dispatches it at full user allocation on the separate OOM budget.
-  void redispatch_after_oom(Invocation& inv);
-  /// Declares parked invocations lost once they exceed placement_timeout.
-  void expire_overdue_waiting();
-  bool fault_active() const { return fault_ && fault_->active(); }
-  /// Stamps the audit context (event id, sim time) and runs the configured
-  /// audit hook with the event's subject ids. Called at the end of every
-  /// event handler.
-  void notify_audit(const char* what, InvocationId inv = kNoInvocation,
-                    NodeId node_id = kNoNode);
-  void fold_progress(Invocation& inv);
-  void refresh_usage(const Invocation& inv, bool starting, bool stopping);
-  void record_series();
-  void finalize_record(Invocation& inv);
 
   EngineConfig cfg_;
   std::shared_ptr<Policy> policy_;
   ExecutionModel exec_;
   EventQueue queue_;
-  std::vector<Node> nodes_;
   std::unordered_map<InvocationId, Invocation> invocations_;
 
   std::unique_ptr<fault::FaultInjector> fault_;  // built in run()
-  std::vector<SimTime> last_ping_delivered_;     // controller health view
-  std::vector<SimTime> down_since_;              // crash time per down node
-
-  /// Live invocations currently holding a node reservation; kept in lockstep
-  /// with try_reserve/release so audits stay O(placed), not O(all ever run).
-  std::unordered_set<InvocationId> placed_;
   long audit_event_id_ = 0;
-
-  std::vector<std::deque<InvocationId>> shard_queues_;
-  std::vector<SimTime> shard_busy_until_;
-  std::vector<bool> shard_pump_scheduled_;
-  std::deque<InvocationId> waiting_;  // parked until capacity frees
-
-  // Live usage accounting (cluster-wide sums, updated incrementally).
-  Resources used_now_;
-  // Per-invocation usage contribution currently reflected in used_now_.
-  std::unordered_map<InvocationId, Resources> usage_contrib_;
 
   RunMetrics metrics_;
   size_t completed_ = 0;
   size_t total_ = 0;
+
+  // The three layers (constructed after everything they reach through
+  // EngineHost; declaration order matters).
+  std::unique_ptr<ClusterState> cluster_;
+  std::unique_ptr<InvocationLifecycle> lifecycle_;
+  std::unique_ptr<ShardedController> controller_;
 };
 
 }  // namespace libra::sim

@@ -1,0 +1,75 @@
+// Engine configuration: cluster shape, pipeline service times, monitoring
+// cadence, fault-injection knobs and the scheduling-parallelism controls.
+// Split out of engine.h so the Cluster / Lifecycle / Controller layers can
+// share it without pulling in the engine itself.
+#pragma once
+
+#include <vector>
+
+#include "sim/audit_hook.h"
+#include "sim/container_pool.h"
+#include "sim/execution_model.h"
+#include "sim/fault/fault_injector.h"
+#include "sim/types.h"
+
+namespace libra::sim {
+
+struct EngineConfig {
+  std::vector<Resources> node_capacities;
+  int num_shards = 1;
+  ContainerPoolConfig container;
+  ExecutionModelConfig exec;
+
+  double frontend_delay = 0.0005;        // request admission
+  double profiler_delay = 0.002;         // §8.6: prediction < 2 ms
+  double sched_decision_delay = 0.0005;  // simulated per-decision service time
+  double pool_op_delay = 0.0002;         // harvest pool put/get
+  double monitor_interval = 0.1;         // §5.2 monitor window
+  double health_ping_interval = 1.0;     // pool-status piggyback period
+  double oom_restart_penalty = 1.0;      // container kill + restart cost
+  /// When true, times each scheduling decision (speculation or serial
+  /// select) with a real clock (Fig. 12c).
+  bool measure_real_sched_overhead = false;
+
+  /// Worker threads for the parallel shard-decision phase (§6.4). Each event
+  /// barrier speculates the independent shard decisions of the batch across
+  /// this many threads (the calling thread participates), then commits the
+  /// grants serially in registration order — RunMetrics are bit-identical
+  /// for any value (asserted by the golden-replay test). 1 = decisions are
+  /// speculated inline, no threads are spawned.
+  int sched_workers = 1;
+
+  // ---- Fault injection & recovery (src/sim/fault) ----
+  fault::FaultPlan fault_plan;        // scripted faults, replayed verbatim
+  fault::FaultProfile fault_profile;  // seeded probabilistic faults
+  /// Capped exponential backoff before re-dispatching an invocation killed
+  /// by a node crash or a failed cold start: base * 2^attempt, <= cap.
+  double retry_backoff_base = 0.1;
+  double retry_backoff_cap = 5.0;
+  /// Crash / cold-start-failure retries before an invocation is lost.
+  int max_fault_retries = 3;
+  /// OOM graceful degradation: instead of the classic in-place restart, an
+  /// OOM-killed invocation is torn off its node and re-dispatched with
+  /// capped backoff at its full user allocation (inv.oom_protected), its
+  /// harvested grants preemptively released via Policy::on_evicted. Off by
+  /// default — the paper's platforms restart in place.
+  bool oom_redispatch = false;
+  /// OOM re-dispatches before the invocation is lost (a budget deliberately
+  /// separate from max_fault_retries: churn-kills must not consume it).
+  int max_oom_retries = 3;
+  /// Parked invocations unplaceable for this long are declared lost.
+  /// Only enforced while fault injection is active (failure-free runs keep
+  /// the park-until-capacity-frees semantics).
+  double placement_timeout = 600.0;
+  /// The controller suspects a node after this many silent ping intervals.
+  double suspect_after_missed_pings = 3.0;
+  /// Sampled churn extends this far past the last trace arrival.
+  double churn_horizon_pad = 120.0;
+
+  /// Invariant auditor (src/analysis) notified after every dispatched event.
+  /// Non-owning; nullptr disables the cross-layer checks (the pool-internal
+  /// conservation audits still run).
+  EngineAuditHook* audit_hook = nullptr;
+};
+
+}  // namespace libra::sim

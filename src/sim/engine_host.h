@@ -1,0 +1,64 @@
+// The narrow seam between the engine's three layers (ClusterState,
+// InvocationLifecycle, ShardedController) and the event-loop glue that owns
+// them. Each layer holds an EngineHost& and reaches everything it needs —
+// the clock/queue, the policy, shared metrics, the other layers — through
+// this interface, so no layer includes engine.h and the dependency graph
+// stays acyclic: layers -> EngineHost <- Engine.
+#pragma once
+
+#include <unordered_map>
+
+#include "sim/engine_config.h"
+#include "sim/event_queue.h"
+#include "sim/invocation.h"
+#include "sim/metrics.h"
+
+namespace libra::sim {
+
+class EngineApi;
+class Policy;
+class ClusterState;
+class InvocationLifecycle;
+class ShardedController;
+namespace fault {
+class FaultInjector;
+}
+
+class EngineHost {
+ public:
+  virtual ~EngineHost() = default;
+
+  virtual EventQueue& queue() = 0;
+  virtual const EngineConfig& config() const = 0;
+  virtual Policy& policy() = 0;
+  virtual EngineApi& api() = 0;
+  virtual RunMetrics& metrics() = 0;
+
+  virtual ClusterState& cluster() = 0;
+  virtual InvocationLifecycle& lifecycle() = 0;
+  virtual ShardedController& controller() = 0;
+
+  virtual Invocation& invocation(InvocationId id) = 0;
+  virtual std::unordered_map<InvocationId, Invocation>& invocations_map() = 0;
+
+  /// True while fault injection is configured for this run (scripted plan or
+  /// probabilistic profile). Gates the failure-handling paths so failure-free
+  /// runs keep the original semantics.
+  virtual bool fault_active() const = 0;
+  /// The injector for this run; never null after run() starts when
+  /// fault_active() is true.
+  virtual fault::FaultInjector* fault() = 0;
+
+  /// Marks one invocation terminal (completed or lost). The run ends when
+  /// every traced invocation is terminal.
+  virtual void mark_terminal() = 0;
+  /// True while at least one traced invocation is not yet terminal.
+  virtual bool run_live() const = 0;
+
+  /// Forwards an engine-level event to the invariant auditor (no-op when no
+  /// audit hook is configured).
+  virtual void notify_audit(const char* what, InvocationId inv = kNoInvocation,
+                            NodeId node = kNoNode) = 0;
+};
+
+}  // namespace libra::sim

@@ -1,0 +1,54 @@
+// Lifecycle layer: the per-invocation state machine between placement and a
+// terminal outcome — container start, piecewise execution progress, monitor
+// ticks, OOM (in-place restart or graceful re-dispatch), completion,
+// churn kills, retry backoff and terminal loss. Cluster-scoped effects
+// (usage accounting, node reservations) go through EngineHost::cluster();
+// re-queues go through EngineHost::controller().
+#pragma once
+
+#include "sim/engine_host.h"
+#include "sim/execution_model.h"
+
+namespace libra::sim {
+
+class InvocationLifecycle {
+ public:
+  InvocationLifecycle(EngineHost& host, const ExecutionModel& exec)
+      : host_(host), exec_(exec) {}
+
+  /// Container is up: start (or restart) executing. `epoch` guards against
+  /// placements invalidated while the container was starting.
+  void begin_execution(InvocationId id, uint64_t epoch);
+  void handle_completion(InvocationId id, uint64_t generation);
+  void handle_oom(InvocationId id, uint64_t generation);
+  void monitor_tick(InvocationId id);
+
+  /// Tears down one invocation on a crashing node and retries or loses it.
+  void kill_invocation(InvocationId id);
+  /// Schedules the post-kill retry, or loses the invocation when the retry
+  /// budget is exhausted. `extra_delay` is added on top of the backoff.
+  void retry_or_lose(Invocation& inv, double extra_delay);
+  /// Terminal loss: the invocation will never complete.
+  void lose_invocation(Invocation& inv);
+
+  // ---- EngineApi surface backed by this layer ----
+  void update_effective(InvocationId id, const Resources& effective);
+  void sync_accounting(InvocationId id);
+  Resources observed_usage(InvocationId id) const;
+  Resources observed_peak(InvocationId id) const;
+
+  /// Emits the final InvocationRecord into the run metrics.
+  void finalize_record(Invocation& inv);
+
+ private:
+  void schedule_progress_events(Invocation& inv);
+  void fold_progress(Invocation& inv);
+  /// OOM graceful degradation: tears the invocation off its (live) node and
+  /// re-dispatches it at full user allocation on the separate OOM budget.
+  void redispatch_after_oom(Invocation& inv);
+
+  EngineHost& host_;
+  const ExecutionModel& exec_;
+};
+
+}  // namespace libra::sim

@@ -5,6 +5,7 @@
 // only through the EngineApi (the docker-update stand-in).
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -108,6 +109,34 @@ class Policy {
   /// user-defined allocation, or kNoNode to park the invocation until
   /// capacity frees up.
   virtual NodeId select_node(Invocation& inv, EngineApi& api) = 0;
+
+  /// Optional speculative form of the Step-4 decision, used by the parallel
+  /// sharded controller (§6.4). Called from worker threads on a frozen
+  /// pre-batch view of the cluster, concurrently with other shards'
+  /// speculations, so it must be PURE: no policy or scheduler state may be
+  /// mutated, and the decision must depend only on state that no same-batch
+  /// commit can change (the invocation's own shard slice, ping-time pool
+  /// snapshots, the ping-based health view). Return nullopt whenever the
+  /// decision is order-dependent — the controller then runs select_node
+  /// serially at the invocation's commit position, which is always correct.
+  /// When a node IS returned, the controller commits it via commit_select
+  /// instead of calling select_node.
+  virtual std::optional<NodeId> speculate_select(const Invocation& inv,
+                                                 const EngineApi& api) const {
+    (void)inv;
+    (void)api;
+    return std::nullopt;
+  }
+
+  /// Applies select_node's side effects for a decision that was speculated
+  /// successfully (speculate_select returned a node). Runs serially at the
+  /// commit position. Policies whose select_node mutates state on EVERY call
+  /// (not just on the paths speculate_select declines) must replicate that
+  /// here, or the parallel controller diverges from the serial engine.
+  virtual void commit_select(Invocation& inv, EngineApi& api) {
+    (void)inv;
+    (void)api;
+  }
 
   /// Step 5 — harvesting / acceleration, called right after the reservation
   /// succeeded on inv.node. The policy updates its harvest pools and the

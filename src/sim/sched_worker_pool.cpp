@@ -1,0 +1,126 @@
+#include "sim/sched_worker_pool.h"
+
+namespace libra::sim {
+
+namespace {
+
+// Spin iterations before parking on the condition variable. Each iteration
+// is a pause hint (~tens of ns), so the window is a few microseconds — long
+// enough to bridge the gap between back-to-back barrier batches in a burst,
+// short enough that an idle simulation parks its workers almost instantly.
+constexpr int kSpinIters = 512;
+
+inline void cpu_pause() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#endif
+}
+
+}  // namespace
+
+SchedWorkerPool::SchedWorkerPool(int workers)
+    : workers_(workers < 1 ? 1 : workers) {
+  // Spinning only helps when every pool thread can occupy its own hardware
+  // thread; on an oversubscribed machine a spinning worker steals the core
+  // the event loop needs, so park immediately instead.
+  const unsigned hw = std::thread::hardware_concurrency();
+  spin_iters_ = (hw != 0 && hw >= static_cast<unsigned>(workers_) + 1)
+                    ? kSpinIters
+                    : 0;
+  threads_.reserve(static_cast<size_t>(workers_ - 1));
+  for (int i = 0; i < workers_ - 1; ++i)
+    threads_.emplace_back([this] { worker_loop(); });
+}
+
+SchedWorkerPool::~SchedWorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_.store(true, std::memory_order_release);
+    generation_.fetch_add(1, std::memory_order_release);
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void SchedWorkerPool::drain(const std::function<void(size_t)>& fn) {
+  for (;;) {
+    const size_t i = next_index_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= task_count_) return;
+    fn(i);
+  }
+}
+
+void SchedWorkerPool::worker_loop() {
+  uint64_t seen = 0;
+  for (;;) {
+    // Fast path: spin for the next generation before sleeping.
+    bool woke = false;
+    for (int spin = 0; spin < spin_iters_; ++spin) {
+      if (shutdown_.load(std::memory_order_acquire)) return;
+      if (generation_.load(std::memory_order_acquire) != seen) {
+        woke = true;
+        break;
+      }
+      cpu_pause();
+    }
+    const std::function<void(size_t)>* task = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (!woke)
+        work_cv_.wait(lock, [&] {
+          return shutdown_.load(std::memory_order_relaxed) ||
+                 generation_.load(std::memory_order_relaxed) != seen;
+        });
+      if (shutdown_.load(std::memory_order_relaxed)) return;
+      seen = generation_.load(std::memory_order_relaxed);
+      task = task_;
+    }
+    drain(*task);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      workers_done_.fetch_add(1, std::memory_order_release);
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void SchedWorkerPool::run(size_t count,
+                          const std::function<void(size_t)>& fn) {
+  if (count == 0) return;
+  if (threads_.empty() || count == 1) {
+    for (size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    task_ = &fn;
+    task_count_ = count;
+    workers_done_.store(0, std::memory_order_relaxed);
+    next_index_.store(0, std::memory_order_relaxed);
+    generation_.fetch_add(1, std::memory_order_release);
+  }
+  work_cv_.notify_all();
+  drain(fn);  // the caller is the last worker
+  // Fast path: the other workers usually finish within the spin window.
+  const size_t target = threads_.size();
+  bool done = false;
+  for (int spin = 0; spin < spin_iters_; ++spin) {
+    if (workers_done_.load(std::memory_order_acquire) == target) {
+      done = true;
+      break;
+    }
+    cpu_pause();
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!done)
+      done_cv_.wait(lock, [&] {
+        return workers_done_.load(std::memory_order_relaxed) == target;
+      });
+    task_ = nullptr;
+  }
+}
+
+}  // namespace libra::sim

@@ -1,0 +1,73 @@
+// A small persistent worker pool for the parallel shard-decision phase.
+// The controller hands it one batch of independent, read-only decision tasks
+// per event barrier; workers pull indices off a shared atomic counter and the
+// calling thread participates, so a pool of N runs the batch on N threads
+// total. Results land in caller-owned, pre-sized slots indexed by task — the
+// outcome is independent of which thread ran which task, keeping the merge
+// deterministic.
+//
+// Barrier batches are tiny (at most one decision per shard) and arrive in
+// dense bursts, so dispatch latency — not throughput — is what the pool
+// optimizes: workers spin briefly on the generation counter before parking
+// on the condition variable, and the caller spins briefly on the completion
+// counter before sleeping. A futex round-trip costs tens of microseconds,
+// comparable to an entire batch of decisions; the spin window absorbs it
+// during bursts while idle periods still park the threads.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace libra::sim {
+
+class SchedWorkerPool {
+ public:
+  /// Spawns `workers - 1` threads (the caller of run() is the last worker).
+  /// `workers <= 1` spawns nothing; run() then executes inline.
+  explicit SchedWorkerPool(int workers);
+  ~SchedWorkerPool();
+
+  SchedWorkerPool(const SchedWorkerPool&) = delete;
+  SchedWorkerPool& operator=(const SchedWorkerPool&) = delete;
+
+  /// Runs fn(i) for every i in [0, count), spreading indices across the pool
+  /// plus the calling thread; returns when all calls finished. fn must be
+  /// safe to invoke concurrently from different threads for different i.
+  void run(size_t count, const std::function<void(size_t)>& fn);
+
+  int workers() const { return workers_; }
+  /// True when the pool spins before parking (enough hardware threads for
+  /// every worker plus the event loop).
+  bool spinning() const { return spin_iters_ > 0; }
+
+ private:
+  void worker_loop();
+  void drain(const std::function<void(size_t)>& fn);
+
+  const int workers_;
+  int spin_iters_ = 0;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signals a new batch (generation bump)
+  std::condition_variable done_cv_;   // signals batch completion
+
+  // The atomics are written under mu_ (so the condition variables never miss
+  // an update) but read lock-free on the spin paths.
+  std::atomic<uint64_t> generation_{0};
+  std::atomic<bool> shutdown_{false};
+  std::atomic<size_t> workers_done_{0};
+
+  const std::function<void(size_t)>* task_ = nullptr;  // guarded by mu_
+  size_t task_count_ = 0;                              // guarded by mu_
+
+  std::atomic<size_t> next_index_{0};
+};
+
+}  // namespace libra::sim

@@ -1,0 +1,226 @@
+#include "sim/sharded_controller.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "sim/cluster_state.h"
+#include "sim/fault/fault_injector.h"
+#include "sim/lifecycle.h"
+#include "sim/policy.h"
+#include "util/log.h"
+
+namespace libra::sim {
+
+ShardedController::ShardedController(EngineHost& host) : host_(host) {
+  const auto shards = static_cast<size_t>(host_.config().num_shards);
+  shard_queues_.resize(shards);
+  shard_busy_until_.assign(shards, 0.0);
+  shard_registered_.assign(shards, false);
+}
+
+ShardedController::~ShardedController() = default;
+
+void ShardedController::admit(InvocationId id) {
+  Invocation& v = host_.invocation(id);
+  // Front ends spray invocations across shards; id-based assignment models
+  // the decentralized, stateless dispatch of §6.4.
+  v.shard = static_cast<ShardId>(v.id % host_.config().num_shards);
+  v.t_sched_enqueue = host_.queue().now();
+  // Reject invocations that can never fit a shard slice anywhere.
+  bool can_fit = false;
+  for (const auto& node : host_.cluster().nodes())
+    if (v.user_alloc.fits_in(node.shard_capacity())) can_fit = true;
+  if (!can_fit) {
+    LIBRA_ERROR() << "invocation " << v.id
+                  << " can never fit any shard slice; dropping";
+    v.done = true;
+    host_.mark_terminal();  // keeps health pings from looping forever
+    host_.lifecycle().finalize_record(v);
+    return;
+  }
+  shard_queues_[static_cast<size_t>(v.shard)].push_back(id);
+  pump(v.shard);
+}
+
+void ShardedController::requeue_after_fault(InvocationId id) {
+  Invocation& inv = host_.invocation(id);
+  if (inv.done) return;
+  inv.t_sched_enqueue = host_.queue().now();  // timeout restarts per attempt
+  shard_queues_[static_cast<size_t>(inv.shard)].push_back(id);
+  pump(inv.shard);
+  host_.notify_audit("requeue", id);
+}
+
+void ShardedController::retry_waiting() {
+  if (waiting_.empty()) return;
+  std::deque<InvocationId> parked;
+  parked.swap(waiting_);
+  for (auto it = parked.rbegin(); it != parked.rend(); ++it) {
+    const Invocation& inv = host_.invocation(*it);
+    shard_queues_[static_cast<size_t>(inv.shard)].push_front(*it);
+  }
+  for (ShardId s = 0; s < host_.config().num_shards; ++s) pump(s);
+}
+
+void ShardedController::expire_overdue_waiting() {
+  if (waiting_.empty()) return;
+  std::deque<InvocationId> keep;
+  for (InvocationId id : waiting_) {
+    Invocation& inv = host_.invocation(id);
+    if (inv.done) continue;
+    if (host_.queue().now() - inv.t_sched_enqueue >
+        host_.config().placement_timeout)
+      host_.lifecycle().lose_invocation(inv);
+    else
+      keep.push_back(id);
+  }
+  waiting_.swap(keep);
+}
+
+void ShardedController::pump(ShardId shard) {
+  const auto s = static_cast<size_t>(shard);
+  if (shard_registered_[s] || shard_queues_[s].empty()) return;
+  shard_registered_[s] = true;
+  const SimTime at = std::max(host_.queue().now(), shard_busy_until_[s]);
+  auto it = batches_.find(at);
+  if (it != batches_.end()) {
+    it->second.push_back(shard);
+    return;  // joins the batch; its barrier event is already scheduled
+  }
+  batches_.emplace(at, std::vector<ShardId>{shard});
+  host_.queue().schedule(at, [this, at] { run_barrier(at); });
+}
+
+void ShardedController::run_barrier(SimTime at) {
+  auto it = batches_.find(at);
+  if (it == batches_.end()) return;
+  const std::vector<ShardId> members = std::move(it->second);
+  // Erase before processing: registrations made at this same timestamp by
+  // later handlers must open a fresh batch with a fresh, later event.
+  batches_.erase(it);
+
+  // Pop one invocation per member shard NOW (not at registration time):
+  // same-time retries may have pushed a different invocation to the front,
+  // exactly as the serial per-shard decision events observed it.
+  struct Item {
+    InvocationId inv = kNoInvocation;
+    std::optional<NodeId> speculated;
+    double decision_seconds = 0.0;
+  };
+  std::vector<Item> items;
+  items.reserve(members.size());
+  for (ShardId shard : members) {
+    const auto s = static_cast<size_t>(shard);
+    shard_registered_[s] = false;
+    if (shard_queues_[s].empty()) continue;
+    items.push_back({shard_queues_[s].front(), std::nullopt, 0.0});
+    shard_queues_[s].pop_front();
+    shard_busy_until_[s] = at + host_.config().sched_decision_delay;
+  }
+
+  // Phase 1 — speculate: read-only decisions from the frozen pre-batch view,
+  // fanned out across the worker pool. Decisions of distinct shards are
+  // independent by construction (disjoint shard slices, ping-time
+  // snapshots); order-dependent policies decline and stay serial.
+  const bool measure = host_.config().measure_real_sched_overhead;
+  auto speculate_one = [&](size_t i) {
+    const Invocation& inv = host_.invocation(items[i].inv);
+    if (inv.done) return;  // commit will skip it, as the serial engine did
+    if (measure) {
+      const auto t0 = std::chrono::steady_clock::now();
+      items[i].speculated = host_.policy().speculate_select(inv, host_.api());
+      const auto t1 = std::chrono::steady_clock::now();
+      items[i].decision_seconds =
+          std::chrono::duration<double>(t1 - t0).count();
+    } else {
+      items[i].speculated = host_.policy().speculate_select(inv, host_.api());
+    }
+  };
+  const int workers = host_.config().sched_workers;
+  if (workers > 1 && items.size() > 1) {
+    if (!pool_) pool_ = std::make_unique<SchedWorkerPool>(workers);
+    pool_->run(items.size(), speculate_one);
+  } else {
+    for (size_t i = 0; i < items.size(); ++i) speculate_one(i);
+  }
+
+  // Phase 2 — commit serially in registration order.
+  for (const Item& item : items)
+    commit_one(item.inv, item.speculated, item.decision_seconds);
+
+  // Phase 3 — re-pump the member shards, in the same order the serial
+  // engine's per-shard events would have re-armed themselves.
+  for (ShardId shard : members) pump(shard);
+}
+
+void ShardedController::commit_one(InvocationId id,
+                                   const std::optional<NodeId>& speculated,
+                                   double decision_seconds) {
+  Invocation& inv = host_.invocation(id);
+  if (inv.done) return;
+  EngineApi& api = host_.api();
+  RunMetrics& metrics = host_.metrics();
+  const SimTime now = host_.queue().now();
+  NodeId chosen = kNoNode;
+  if (speculated.has_value()) {
+    host_.policy().commit_select(inv, api);
+    chosen = *speculated;
+    if (host_.config().measure_real_sched_overhead)
+      metrics.sched_overhead_seconds.push_back(decision_seconds);
+  } else if (host_.config().measure_real_sched_overhead) {
+    const auto t0 = std::chrono::steady_clock::now();
+    chosen = host_.policy().select_node(inv, api);
+    const auto t1 = std::chrono::steady_clock::now();
+    metrics.sched_overhead_seconds.push_back(
+        std::chrono::duration<double>(t1 - t0).count());
+  } else {
+    chosen = host_.policy().select_node(inv, api);
+  }
+  if (chosen != kNoNode && !host_.cluster().node(chosen).up()) {
+    // The scheduler worked from a stale health view / pool snapshot and
+    // picked a dead node; the dispatch times out controller-side.
+    ++metrics.stale_snapshot_decisions;
+    chosen = kNoNode;
+  }
+  if (chosen == kNoNode ||
+      !host_.cluster().node(chosen).try_reserve(inv.shard, inv.user_alloc)) {
+    ++inv.park_count;
+    waiting_.push_back(id);
+    host_.notify_audit("park", id);
+    return;
+  }
+  inv.node = chosen;
+  host_.cluster().insert_placed(id);
+  inv.t_sched_done = now;
+  host_.cluster().record_series();
+
+  // Container acquisition happens before the pool transaction so a failed
+  // cold start can unwind without having touched the harvest pools.
+  const auto acq =
+      host_.cluster().node(chosen).containers().acquire(inv.func, now);
+  inv.cold_start = acq.cold;
+  if (acq.cold && host_.fault_active() &&
+      host_.fault()->fail_cold_start(chosen, now)) {
+    ++metrics.cold_start_failures;
+    host_.cluster().node(chosen).release(inv.shard, inv.user_alloc);
+    inv.node = kNoNode;
+    host_.cluster().erase_placed(id);
+    host_.cluster().record_series();
+    // The failure only surfaces after the attempted creation time.
+    host_.lifecycle().retry_or_lose(inv, acq.delay);
+    host_.notify_audit("cold_start_failure", id, chosen);
+    return;
+  }
+
+  const AllocationPlan plan = host_.policy().plan_allocation(inv, api);
+  inv.effective = plan.effective;
+  inv.t_pool_done = now + host_.config().pool_op_delay;
+
+  const uint64_t epoch = ++inv.placement_epoch;
+  host_.queue().schedule(inv.t_pool_done + acq.delay, [this, id, epoch] {
+    host_.lifecycle().begin_execution(id, epoch);
+  });
+  host_.notify_audit("placement", id, chosen);
+}
+
+}  // namespace libra::sim

@@ -1,0 +1,90 @@
+// Controller layer: the decentralized sharded scheduler of §6.4. Owns the
+// per-shard FIFO queues, the parked-invocation list and the per-shard
+// decision service-time bookkeeping, and replaces the monolithic engine's
+// per-shard decision events with EVENT BARRIERS: all shards whose next
+// decision falls on the same timestamp form one batch. Each batch runs in
+// two phases —
+//
+//   speculate: every member's Policy::speculate_select runs on a frozen
+//     pre-batch view, in parallel across the SchedWorkerPool (decisions of
+//     distinct shards touch disjoint shard slices, ping-time pool snapshots
+//     and the ping-based health view, none of which a same-batch commit can
+//     change);
+//   commit: grants are applied serially in shard-registration order; members
+//     whose policy declined to speculate run the ordinary order-dependent
+//     Policy::select_node right here, at exactly the position the serial
+//     engine would have run it.
+//
+// The merge rule makes RunMetrics bit-identical with 1 worker, N workers or
+// the pre-refactor engine (asserted by the golden-replay test).
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "sim/engine_host.h"
+#include "sim/sched_worker_pool.h"
+
+namespace libra::sim {
+
+class ShardedController {
+ public:
+  explicit ShardedController(EngineHost& host);
+  ~ShardedController();
+
+  /// Profiled invocation enters the scheduling layer: assigns its shard
+  /// (id-based stateless dispatch, §6.4), rejects invocations that can never
+  /// fit any shard slice, and queues the rest.
+  void admit(InvocationId id);
+
+  /// Backoff expired: hand the invocation back to its shard queue.
+  void requeue_after_fault(InvocationId id);
+
+  /// Capacity freed: hand parked invocations back to their shards in FIFO
+  /// order. They pay another scheduling decision, like OpenWhisk retries.
+  void retry_waiting();
+
+  /// Declares parked invocations lost once they exceed placement_timeout.
+  void expire_overdue_waiting();
+
+ private:
+  /// Registers the shard for its next decision slot (max(now, busy_until))
+  /// unless it is already registered or has nothing queued. Joins the batch
+  /// already pending at that timestamp, or opens a new one and schedules its
+  /// barrier event.
+  void pump(ShardId shard);
+
+  /// The barrier event: pops one invocation per registered shard, runs the
+  /// speculate phase across the worker pool, then commits serially in
+  /// registration order and re-pumps the member shards.
+  void run_barrier(SimTime at);
+
+  /// Applies one member's decision: the old monolithic try_place, with the
+  /// Step-4 selection either pre-computed (speculated) or run serially here.
+  void commit_one(InvocationId id, const std::optional<NodeId>& speculated,
+                  double decision_seconds);
+
+  EngineHost& host_;
+
+  std::vector<std::deque<InvocationId>> shard_queues_;
+  std::vector<SimTime> shard_busy_until_;
+  /// True while the shard sits in a pending batch (mirrors the serial
+  /// engine's "pump already scheduled" flag).
+  std::vector<bool> shard_registered_;
+
+  /// Pending decision batches keyed by barrier timestamp. An entry is
+  /// removed before its members are processed, so same-time registrations
+  /// made by later handlers open a fresh batch with a fresh (later) event —
+  /// exactly where the serial engine's per-shard events would have landed.
+  std::map<SimTime, std::vector<ShardId>> batches_;
+
+  std::deque<InvocationId> waiting_;  // parked until capacity frees
+
+  /// Lazily created on the first multi-member batch when sched_workers > 1.
+  std::unique_ptr<SchedWorkerPool> pool_;
+};
+
+}  // namespace libra::sim

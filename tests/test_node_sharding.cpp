@@ -1,0 +1,107 @@
+// Shard accounting edge cases for sim::Node (§6.4 horizontal capacity
+// sharding): slice accounting across a crash-and-reap cycle, reserve/release
+// round trips when there are more shards than the cluster has nodes, and
+// capacity-slice rounding with odd shard counts.
+#include <gtest/gtest.h>
+
+#include "sim/node.h"
+
+namespace libra::sim {
+namespace {
+
+TEST(NodeSharding, ShardFreeRestoredAfterDownNodeReap) {
+  Node n(0, {12.0, 12.0}, 3);
+  ASSERT_TRUE(n.try_reserve(0, {2.0, 2.0}));
+  ASSERT_TRUE(n.try_reserve(1, {3.0, 3.0}));
+  ASSERT_TRUE(n.try_reserve(2, {1.0, 1.0}));
+  n.invocation_started();
+  n.invocation_started();
+  n.invocation_started();
+
+  // Crash: the engine reaps every victim — each release targets the shard
+  // that made the reservation, mirroring kill_invocation.
+  n.set_up(false);
+  n.invocation_finished();
+  n.release(0, {2.0, 2.0});
+  n.invocation_finished();
+  n.release(1, {3.0, 3.0});
+  n.invocation_finished();
+  n.release(2, {1.0, 1.0});
+  n.check_quiescent();  // aborts on any surviving reservation
+
+  // Every slice is whole again, but a down node admits nothing.
+  const Resources slice = n.shard_capacity();
+  for (ShardId s = 0; s < 3; ++s) {
+    EXPECT_DOUBLE_EQ(n.shard_free(s).cpu, slice.cpu);
+    EXPECT_DOUBLE_EQ(n.shard_free(s).mem, slice.mem);
+  }
+  EXPECT_FALSE(n.try_reserve(0, {1.0, 1.0}));
+
+  // Recovery: the node rejoins empty and admits again.
+  n.set_up(true);
+  EXPECT_TRUE(n.try_reserve(0, {1.0, 1.0}));
+  EXPECT_DOUBLE_EQ(n.allocated().cpu, 1.0);
+  n.release(0, {1.0, 1.0});
+}
+
+TEST(NodeSharding, ReserveReleaseRoundTripWithMoreShardsThanNodes) {
+  // A single node split across 8 scheduler shards (num_shards > node count
+  // is routine in the sharding sweeps): each shard owns a 1/8 slice, and a
+  // round trip through every shard must land back at a pristine node.
+  Node n(0, {16.0, 32.0}, 8);
+  const Resources slice = n.shard_capacity();
+  EXPECT_DOUBLE_EQ(slice.cpu, 2.0);
+  EXPECT_DOUBLE_EQ(slice.mem, 4.0);
+
+  for (ShardId s = 0; s < 8; ++s) {
+    // The full slice fits; a hair more than the slice must not, even though
+    // the node as a whole still has room.
+    EXPECT_FALSE(n.try_reserve(s, {slice.cpu + 0.01, slice.mem}));
+    ASSERT_TRUE(n.try_reserve(s, slice));
+    EXPECT_DOUBLE_EQ(n.shard_free(s).cpu, 0.0);
+  }
+  EXPECT_DOUBLE_EQ(n.free().cpu, 0.0);
+  EXPECT_DOUBLE_EQ(n.free().mem, 0.0);
+
+  for (ShardId s = 0; s < 8; ++s) n.release(s, slice);
+  EXPECT_DOUBLE_EQ(n.allocated().cpu, 0.0);
+  EXPECT_DOUBLE_EQ(n.allocated().mem, 0.0);
+  n.check_quiescent();
+  for (ShardId s = 0; s < 8; ++s) {
+    EXPECT_DOUBLE_EQ(n.shard_free(s).cpu, slice.cpu);
+    EXPECT_DOUBLE_EQ(n.shard_free(s).mem, slice.mem);
+  }
+}
+
+TEST(NodeSharding, OddShardCountSliceRounding) {
+  // 10 cores / 3 shards: the slice is a non-terminating binary fraction.
+  // The slices must tile the node — reserving every full slice succeeds and
+  // leaves whole-node free within double rounding, never negative by more
+  // than an ulp-scale epsilon.
+  Node n(0, {10.0, 10.0}, 3);
+  const Resources slice = n.shard_capacity();
+  EXPECT_NEAR(slice.cpu * 3.0, 10.0, 1e-12);
+
+  for (ShardId s = 0; s < 3; ++s) ASSERT_TRUE(n.try_reserve(s, slice));
+  EXPECT_NEAR(n.free().cpu, 0.0, 1e-12);
+  EXPECT_NEAR(n.free().mem, 0.0, 1e-12);
+
+  // No shard can take anything more once its slice is exhausted.
+  for (ShardId s = 0; s < 3; ++s)
+    EXPECT_FALSE(n.try_reserve(s, {1e-6, 1e-6}));
+
+  for (ShardId s = 0; s < 3; ++s) n.release(s, slice);
+  n.check_quiescent();
+  EXPECT_NEAR(n.free().cpu, 10.0, 1e-12);
+}
+
+TEST(NodeSharding, ReserveRejectsNegativeAndReleaseGuardsUnderflow) {
+  Node n(0, {4.0, 4.0}, 2);
+  EXPECT_THROW(n.try_reserve(0, {-1.0, 1.0}), std::invalid_argument);
+  ASSERT_TRUE(n.try_reserve(0, {1.0, 1.0}));
+  // Releasing more than the shard holds is an accounting bug.
+  EXPECT_THROW(n.release(0, {2.0, 2.0}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace libra::sim

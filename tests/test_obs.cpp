@@ -434,6 +434,62 @@ TEST(ObsExport, CsvTimeSeriesParsesBack) {
   std::remove(path.c_str());
 }
 
+TEST(ObsExport, NdjsonSinkStreamsInsteadOfBuffering) {
+  obs::TraceRecorder rec(/*max_events=*/2);
+  std::ostringstream sink;
+  rec.set_sink(&sink);
+  rec.instant(1.0, 0, 1, "a", "t");
+  rec.begin(2.0, 0, 1, "b", "t", "{\"k\":1}");
+  rec.end(3.0, 0, 1, "b", "t");
+  rec.instant(4.0, 0, 1, "c", "t");  // over the in-memory cap: still streams
+  EXPECT_EQ(rec.streamed(), 4u);
+  EXPECT_EQ(rec.size(), 0u);     // nothing buffered
+  EXPECT_EQ(rec.dropped(), 0u);  // cap does not apply to the stream
+
+  std::istringstream lines(sink.str());
+  std::string line;
+  size_t n = 0;
+  while (std::getline(lines, line)) {
+    ++n;
+    EXPECT_TRUE(JsonValidator(line).valid()) << line;
+    EXPECT_EQ(line.rfind("{\"name\"", 0), 0u) << line;
+  }
+  EXPECT_EQ(n, 4u);
+  EXPECT_NE(sink.str().find("\"args\":{\"k\":1}"), std::string::npos);
+}
+
+TEST(ObsExport, NdjsonStreamRoundTripsAgainstBufferedTrace) {
+  // Two identical runs: one buffered, one streamed to NDJSON with a tiny
+  // in-memory cap. Each streamed line must byte-match trace_event_json of
+  // the corresponding buffered event — stream and buffer are two sinks of
+  // the same event sequence.
+  obs::ObsSession buffered;
+  run_with(&buffered);
+  ASSERT_FALSE(buffered.trace().empty());
+
+  const std::string path = ::testing::TempDir() + "obs_trace.ndjson";
+  obs::ObsConfig cfg;
+  cfg.max_trace_events = 8;  // would truncate a buffered run this size
+  cfg.ndjson_path = path;
+  obs::ObsSession streaming(cfg);
+  run_with(&streaming);
+  EXPECT_EQ(streaming.trace().size(), 0u);
+  EXPECT_EQ(streaming.trace().dropped(), 0u);
+  EXPECT_EQ(streaming.trace().streamed(), buffered.trace().size());
+  EXPECT_GT(streaming.trace().streamed(), cfg.max_trace_events);
+
+  std::istringstream lines(slurp(path));
+  std::string line;
+  size_t i = 0;
+  for (; std::getline(lines, line); ++i) {
+    ASSERT_LT(i, buffered.trace().size());
+    EXPECT_EQ(line, obs::trace_event_json(buffered.trace().events()[i]))
+        << "line " << i;
+  }
+  EXPECT_EQ(i, buffered.trace().size());
+  std::remove(path.c_str());
+}
+
 TEST(ObsExport, SummaryMentionsKeyMetrics) {
   obs::ObsSession obs;
   run_with(&obs);
@@ -443,6 +499,9 @@ TEST(ObsExport, SummaryMentionsKeyMetrics) {
   EXPECT_NE(text.find("engine.arrivals"), std::string::npos);
   EXPECT_NE(text.find("invocation_response_latency_s"), std::string::npos);
   EXPECT_NE(text.find("trace events:"), std::string::npos);
+  // Per-shard decision-cost histograms and the derived balance line (§6.4).
+  EXPECT_NE(text.find("sched_decision_cost.shard"), std::string::npos);
+  EXPECT_NE(text.find("shard balance:"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------
@@ -467,6 +526,15 @@ TEST(ObsCli, ParsesSharedFlagsAndPassesUnknownsThrough) {
   EXPECT_FALSE(opt2.obs_requested());
   const obs::ObsConfig cfg = exp::obs_config_from(opt2);
   EXPECT_FALSE(cfg.enabled);
+
+  // --trace-ndjson implies observability and lands in ObsConfig.
+  const char* argv3[] = {"bench", "--trace-ndjson=/tmp/t.ndjson"};
+  auto opt3 = exp::parse_cli(2, const_cast<char**>(argv3));
+  EXPECT_TRUE(opt3.obs_requested());
+  EXPECT_EQ(opt3.trace_ndjson, "/tmp/t.ndjson");
+  const obs::ObsConfig cfg3 = exp::obs_config_from(opt3);
+  EXPECT_TRUE(cfg3.enabled);
+  EXPECT_EQ(cfg3.ndjson_path, "/tmp/t.ndjson");
 }
 
 }  // namespace

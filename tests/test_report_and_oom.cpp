@@ -10,6 +10,8 @@
 #include "exp/report.h"
 #include "exp/runner.h"
 #include "sim/engine.h"
+#include "util/rng.h"
+#include "util/stats.h"
 #include "workload/function_catalog.h"
 #include "workload/trace.h"
 
@@ -56,6 +58,36 @@ TEST(Report, SummaryAndOutcomeTablesRender) {
 TEST(Report, DefaultQuantilesAreSorted) {
   const auto& q = exp::default_quantiles();
   for (size_t i = 1; i < q.size(); ++i) EXPECT_LT(q[i - 1], q[i]);
+}
+
+TEST(Report, QuantileEvaluatorExactPathMatchesUtilPercentile) {
+  std::vector<double> xs;
+  util::Rng rng(9);
+  for (int i = 0; i < 1000; ++i) xs.push_back(rng.uniform(-2.0, 40.0));
+  const exp::QuantileEvaluator eval(xs);  // well under the exact threshold
+  EXPECT_FALSE(eval.sketched());
+  EXPECT_EQ(eval.count(), xs.size());
+  for (double q : exp::default_quantiles())
+    EXPECT_DOUBLE_EQ(eval.quantile(q), util::percentile(xs, q)) << q;
+  EXPECT_DOUBLE_EQ(eval.quantile(0.0), util::percentile(xs, 0.0));
+}
+
+TEST(Report, QuantileEvaluatorSketchesAboveThreshold) {
+  std::vector<double> xs;
+  util::Rng rng(11);
+  for (int i = 0; i < 4096; ++i) xs.push_back(rng.uniform(0.01, 30.0));
+  const exp::QuantileEvaluator eval(xs, /*exact_threshold=*/1024);
+  EXPECT_TRUE(eval.sketched());
+  // Sketch answers are log-bucket approximations: within one growth factor
+  // (2x) of the exact value for positive samples.
+  for (double q : {50.0, 95.0, 99.0}) {
+    const double exact = util::percentile(xs, q);
+    const double approx = eval.quantile(q);
+    EXPECT_GE(approx, exact / 2.0) << q;
+    EXPECT_LE(approx, exact * 2.0) << q;
+  }
+  EXPECT_THROW(exp::QuantileEvaluator({}).quantile(50.0),
+               std::invalid_argument);
 }
 
 // ---------------- OOM path ----------------

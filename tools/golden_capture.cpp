@@ -1,0 +1,47 @@
+// One-shot capture tool: prints the canonical RunMetrics digest for each
+// golden-replay scenario (see tests/test_golden_replay.cpp). Run it at a
+// known-good revision to (re)generate the constants the test pins. Not part
+// of the default build — compile by hand against the built static libs when
+// regenerating goldens.
+#include <cstdio>
+
+#include "exp/digest.h"
+#include "exp/platforms.h"
+#include "exp/runner.h"
+#include "workload/function_catalog.h"
+#include "workload/trace.h"
+
+using namespace libra;
+
+int main() {
+  auto catalog = std::make_shared<const sim::FunctionCatalog>(
+      workload::sebs_catalog());
+
+  struct Scenario {
+    const char* name;
+    std::shared_ptr<sim::Policy> policy;
+    sim::EngineConfig cfg;
+    std::vector<sim::Invocation> trace;
+  };
+
+  const auto jet = exp::jetstream_config(8, 4);
+  const auto multi4 = exp::multi_node_config(4);
+  const auto trace_a = workload::multi_trace(*catalog, 120, 5);
+  const auto trace_b = workload::multi_trace(*catalog, 120, 7);
+
+  std::vector<Scenario> scenarios;
+  scenarios.push_back({"default", exp::make_platform(exp::PlatformKind::kDefault, catalog), jet, trace_a});
+  scenarios.push_back({"freyr", exp::make_platform(exp::PlatformKind::kFreyr, catalog), jet, trace_a});
+  scenarios.push_back({"libra", exp::make_platform(exp::PlatformKind::kLibra, catalog), jet, trace_a});
+  scenarios.push_back({"libra_trust", exp::make_platform(exp::PlatformKind::kLibraTrust, catalog), jet, trace_a});
+  scenarios.push_back({"sched_rr", exp::make_scheduler_platform(exp::SchedulerKind::kRoundRobin, catalog), multi4, trace_b});
+  scenarios.push_back({"sched_jsq", exp::make_scheduler_platform(exp::SchedulerKind::kJsq, catalog), multi4, trace_b});
+  scenarios.push_back({"sched_mws", exp::make_scheduler_platform(exp::SchedulerKind::kMws, catalog), multi4, trace_b});
+
+  for (auto& s : scenarios) {
+    auto m = exp::run_experiment(s.cfg, s.policy, s.trace);
+    std::printf("{\"%s\", 0x%sull},\n", s.name,
+                exp::digest_hex(exp::run_metrics_digest(m)).c_str());
+  }
+  return 0;
+}
