@@ -1,6 +1,7 @@
 #include "analysis/invariant_auditor.h"
 
 #include <cmath>
+#include <cstring>
 #include <unordered_map>
 
 #include "util/audit.h"
@@ -77,9 +78,47 @@ void InvariantAuditor::on_pool_event(const core::PoolEvent& ev) {
 void InvariantAuditor::on_engine_event(sim::EngineApi& api,
                                        const sim::EngineEvent& ev) {
   ++stats_.engine_events;
-  if (ev.id % cfg_.every_n != 0) return;
+  const bool sampled = ev.id % cfg_.every_n == 0;
+  if (std::strcmp(ev.what, "recycle") == 0)
+    check_recycle(api, ev.inv, sampled);
+  if (!sampled) return;
   ++stats_.sweeps;
   sweep(api, ev.what);
+}
+
+void InvariantAuditor::check_recycle(sim::EngineApi& api, InvocationId id,
+                                     bool sampled) {
+  ++stats_.recycle_checks;
+  // The engine notifies while the record is still in the map, after it
+  // disarmed the tracked events; epoch-guarded continuations that still hold
+  // the id resolve through the guarded lookup once it is extracted. A
+  // terminal record is present but no longer "alive" (alive = !done).
+  LIBRA_AUDIT_CHECK(!api.invocation_alive(id) && api.invocation(id).done,
+                    "recycle: invocation "
+                        << id << " is not a terminal record (still alive)");
+  if (!sampled) return;
+  for (const InvocationId p : api.placed_invocations()) {
+    LIBRA_AUDIT_CHECK(p != id, "recycle: invocation "
+                                   << id
+                                   << " still holds a node reservation");
+  }
+  if (!policy_) return;
+  for (const auto& [node_id, pool] : policy_->pools_for_audit()) {
+    const auto st = pool.debug_state();
+    for (const auto& b : st.borrows) {
+      LIBRA_AUDIT_CHECK(b.source != id && b.borrower != id,
+                        "recycle: invocation "
+                            << id << " still referenced by a grant in pool of "
+                            << "node " << node_id << " (source " << b.source
+                            << ", borrower " << b.borrower << ")");
+    }
+    for (const auto& e : st.entries) {
+      LIBRA_AUDIT_CHECK(e.source != id,
+                        "recycle: invocation "
+                            << id << " still owns a pool entry on node "
+                            << node_id);
+    }
+  }
 }
 
 void InvariantAuditor::sweep(sim::EngineApi& api, const char* what) const {

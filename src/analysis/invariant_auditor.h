@@ -53,6 +53,7 @@ class InvariantAuditor final : public core::PoolEventListener,
     long pool_events = 0;    // pool mutations observed
     long engine_events = 0;  // engine events observed
     long sweeps = 0;         // full cluster sweeps actually run
+    long recycle_checks = 0; // recycle events audited
   };
   const Stats& stats() const { return stats_; }
 
@@ -61,6 +62,11 @@ class InvariantAuditor final : public core::PoolEventListener,
   void check_pool_conservation(const core::HarvestResourcePool& pool,
                                const char* origin) const;
   void sweep(sim::EngineApi& api, const char* what) const;
+  /// Recycle-safety check (streaming runs): a record about to be returned to
+  /// the engine's free list must be terminal and unreferenced — not placed,
+  /// not a pool source or borrower. The terminal check runs on every recycle
+  /// event; the reference scans follow the every_n sampling like sweeps.
+  void check_recycle(sim::EngineApi& api, sim::InvocationId id, bool sampled);
 
   InvariantAuditorConfig cfg_;
   core::LibraPolicy* policy_ = nullptr;

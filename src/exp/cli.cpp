@@ -47,6 +47,22 @@ CliOptions parse_cli(int argc, char** argv) {
     } else if (take_value(argc, argv, &i, "--obs-every-n", &value)) {
       const long n = std::strtol(value.c_str(), nullptr, 10);
       if (n >= 1) opt.obs_every_n = static_cast<int>(n);
+    } else if (take_value(argc, argv, &i, "--gen-functions", &value)) {
+      // Bad values are passed through verbatim: GenConfig::validate()
+      // rejects them with a message naming the knob (silently keeping the
+      // default would mask a typo'd flag).
+      opt.gen = true;
+      opt.gen_cfg.functions =
+          static_cast<int>(std::strtol(value.c_str(), nullptr, 10));
+    } else if (take_value(argc, argv, &i, "--gen-rpm", &value)) {
+      opt.gen = true;
+      opt.gen_cfg.rpm = std::strtod(value.c_str(), nullptr);
+    } else if (take_value(argc, argv, &i, "--gen-seed", &value)) {
+      opt.gen = true;
+      opt.gen_cfg.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (take_value(argc, argv, &i, "--gen-minutes", &value)) {
+      opt.gen = true;
+      opt.gen_cfg.duration = std::strtod(value.c_str(), nullptr) * 60.0;
     } else {
       opt.extra.emplace_back(arg);
     }
@@ -62,6 +78,10 @@ std::string cli_usage() {
          "  --trace-ndjson PATH  stream trace events to PATH as NDJSON while\n"
          "                       running (unbounded); implies --obs\n"
          "  --obs-every-n N      sample 1-in-N series points (default 1)\n"
+         "  --gen-functions N    synthetic workload: distinct functions\n"
+         "  --gen-rpm X          synthetic workload: base requests/minute\n"
+         "  --gen-seed S         synthetic workload: generator seed\n"
+         "  --gen-minutes M      synthetic workload: trace length, minutes\n"
          "  -h, --help           this help\n";
 }
 

@@ -10,6 +10,10 @@
 //                        PATH as newline-delimited JSON while the run is in
 //                        flight (not bounded by the in-memory event cap)
 //   --obs-every-n N      sample 1-in-N pool/ping series points (default 1)
+//   --gen-functions N    synthetic workload: number of distinct functions
+//   --gen-rpm X          synthetic workload: base arrival rate, req/minute
+//   --gen-seed S         synthetic workload: generator seed
+//   --gen-minutes M      synthetic workload: trace length in minutes
 //   -h / --help          print usage for these shared flags
 //
 // Unrecognized arguments are passed through in `extra` (order preserved) so
@@ -19,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "gen/gen_config.h"
 #include "obs/obs_config.h"
 #include "obs/obs_session.h"
 
@@ -31,12 +36,25 @@ struct CliOptions {
   std::string trace_out;
   std::string trace_ndjson;
   int obs_every_n = 1;
+  /// True when any --gen-* flag was seen: the bench should pull its
+  /// workload from a gen::SyntheticSource built from gen_config().
+  bool gen = false;
+  /// Synthetic-generator knobs (--gen-functions / --gen-rpm / --gen-seed /
+  /// --gen-minutes), pre-populated with the GenConfig defaults.
+  gen::GenConfig gen_cfg;
   /// Unrecognized argv entries, in order (argv[0] excluded).
   std::vector<std::string> extra;
 
   /// Whether an ObsSession should be enabled for this run.
   bool obs_requested() const {
     return obs || !trace_out.empty() || !trace_ndjson.empty();
+  }
+
+  /// The generator config for this run, after GenConfig::validate(). Throws
+  /// std::invalid_argument when the flag values are inconsistent.
+  gen::GenConfig gen_config() const {
+    gen_cfg.validate();
+    return gen_cfg;
   }
 };
 

@@ -22,6 +22,10 @@ QuantileEvaluator::QuantileEvaluator(std::vector<double> samples,
   }
 }
 
+QuantileEvaluator::QuantileEvaluator(const obs::LogHistogram& hist)
+    : sketch_(std::make_unique<obs::LogHistogram>(hist)),
+      count_(static_cast<size_t>(hist.count())) {}
+
 double QuantileEvaluator::quantile(double p) const {
   if (count_ == 0)
     throw std::invalid_argument("QuantileEvaluator: empty sample");
@@ -47,18 +51,26 @@ const std::vector<double>& default_quantiles() {
 Table cdf_table(const std::string& title, const std::vector<NamedRun>& runs,
                 std::vector<double> (sim::RunMetrics::*extract)() const,
                 const std::vector<double>& quantiles) {
+  // Extract and sort each run's samples once, not once per quantile row,
+  // then share the row-rendering with the streaming overload.
+  std::vector<NamedEvaluator> columns;
+  columns.reserve(runs.size());
+  for (const auto& run : runs)
+    columns.push_back({run.name, QuantileEvaluator((run.metrics.*extract)())});
+  return cdf_table(title, columns, quantiles);
+}
+
+Table cdf_table(const std::string& title,
+                const std::vector<NamedEvaluator>& columns,
+                const std::vector<double>& quantiles) {
   Table table(title);
   std::vector<std::string> header = {"percentile"};
-  for (const auto& run : runs) header.push_back(run.name);
+  for (const auto& col : columns) header.push_back(col.name);
   table.set_header(std::move(header));
-  // Extract and sort each run's samples once, not once per quantile row.
-  std::vector<QuantileEvaluator> evals;
-  evals.reserve(runs.size());
-  for (const auto& run : runs) evals.emplace_back((run.metrics.*extract)());
   for (double q : quantiles) {
     std::vector<std::string> row = {Table::fmt(q, 0) + "%"};
-    for (const auto& eval : evals)
-      row.push_back(eval.empty() ? "-" : Table::fmt(eval.quantile(q)));
+    for (const auto& col : columns)
+      row.push_back(col.eval.empty() ? "-" : Table::fmt(col.eval.quantile(q)));
     table.add_row(std::move(row));
   }
   return table;

@@ -30,6 +30,10 @@ class QuantileEvaluator {
   explicit QuantileEvaluator(std::vector<double> samples,
                              size_t exact_threshold = kDefaultExactThreshold);
 
+  /// Sketch-mode evaluator over an already-built histogram (streaming runs:
+  /// see exp::StreamingCollector). Always answers from the sketch.
+  explicit QuantileEvaluator(const obs::LogHistogram& hist);
+
   bool empty() const { return count_ == 0; }
   size_t count() const { return count_; }
   /// True when the sample set crossed the threshold and answers come from
@@ -51,11 +55,24 @@ struct NamedRun {
   sim::RunMetrics metrics;
 };
 
+/// Named pre-built evaluator column for the streaming cdf_table overload.
+struct NamedEvaluator {
+  std::string name;
+  QuantileEvaluator eval;
+};
+
 /// Prints a CDF table: one row per quantile, one column per run.
 /// `extract` picks the sample vector from each run (latency, speedup, ...).
 util::Table cdf_table(const std::string& title,
                       const std::vector<NamedRun>& runs,
                       std::vector<double> (sim::RunMetrics::*extract)() const,
+                      const std::vector<double>& quantiles);
+
+/// Same table from pre-built evaluators — the streaming path, where samples
+/// never existed as vectors and the columns come straight from
+/// LogHistogram sketches (cdf_table accepts either representation).
+util::Table cdf_table(const std::string& title,
+                      const std::vector<NamedEvaluator>& columns,
                       const std::vector<double>& quantiles);
 
 /// The Fig. 6/7 style headline summary: P50/P99 latency, worst slowdown,

@@ -38,17 +38,25 @@ sim::RunMetrics run_experiment(const sim::EngineConfig& cfg,
   return run_experiment(cfg, std::move(policy), std::move(trace), nullptr);
 }
 
-sim::RunMetrics run_experiment(const sim::EngineConfig& cfg,
-                               std::shared_ptr<sim::Policy> policy,
-                               std::vector<sim::Invocation> trace,
-                               obs::ObsSession* obs) {
-  // Every experiment runs under the invariant auditor unless the caller
-  // installed their own hook. Small traces are swept after every event;
-  // large ones are sampled so the O(placed + pools) sweep stays off the
-  // critical path (the always-on pool-internal audits cover every mutation
-  // either way).
+namespace {
+
+/// Shared auditor/obs wiring for both the materialized and streaming
+/// overloads: every experiment runs under the invariant auditor unless the
+/// caller installed their own hook. Small workloads are swept after every
+/// event; large ones are sampled so the O(placed + pools) sweep stays off
+/// the critical path (the always-on pool-internal audits cover every
+/// mutation either way).
+template <typename RunFn>
+sim::RunMetrics run_wired(const sim::EngineConfig& cfg,
+                          std::shared_ptr<sim::Policy> policy,
+                          obs::ObsSession* obs, size_t workload_size,
+                          RunFn&& run_fn) {
   analysis::InvariantAuditorConfig audit_cfg;
-  audit_cfg.every_n = trace.size() <= 4096 ? 1 : 64;
+  // Planet-scale streaming runs (10M+ invocations) keep the auditor but
+  // stretch the sweep sampling further: each sweep is O(placed + nodes), and
+  // at that scale tens of thousands of invocations are in flight at once.
+  audit_cfg.every_n =
+      workload_size <= 4096 ? 1 : (workload_size <= 1000000 ? 64 : 4096);
   analysis::InvariantAuditor auditor(audit_cfg);
   auto* libra = dynamic_cast<core::LibraPolicy*>(policy.get());
   auditor.attach_policy(libra);
@@ -70,9 +78,35 @@ sim::RunMetrics run_experiment(const sim::EngineConfig& cfg,
   }
 
   sim::Engine engine(run_cfg, std::move(policy));
-  sim::RunMetrics metrics = engine.run(std::move(trace));
+  sim::RunMetrics metrics = run_fn(engine);
   if (obs != nullptr) obs->finish(metrics);
   return metrics;
+}
+
+}  // namespace
+
+sim::RunMetrics run_experiment(const sim::EngineConfig& cfg,
+                               std::shared_ptr<sim::Policy> policy,
+                               std::vector<sim::Invocation> trace,
+                               obs::ObsSession* obs) {
+  const size_t size = trace.size();
+  return run_wired(cfg, std::move(policy), obs, size,
+                   [&trace](sim::Engine& engine) {
+                     return engine.run(std::move(trace));
+                   });
+}
+
+sim::RunMetrics run_experiment(const sim::EngineConfig& cfg,
+                               std::shared_ptr<sim::Policy> policy,
+                               gen::TraceSource& source,
+                               obs::ObsSession* obs) {
+  // size_hint() is 0 for unsized generators, which keeps the every-event
+  // sweep — generator smoke runs are small; big synthetic runs report their
+  // expected size and get the sampled sweep like big materialized traces.
+  return run_wired(cfg, std::move(policy), obs, source.size_hint(),
+                   [&source](sim::Engine& engine) {
+                     return engine.run(source);
+                   });
 }
 
 }  // namespace libra::exp

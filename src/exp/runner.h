@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "gen/trace_source.h"
 #include "sim/engine.h"
 #include "sim/function.h"
 #include "sim/metrics.h"
@@ -41,5 +42,16 @@ sim::RunMetrics run_experiment(const sim::EngineConfig& cfg,
                                std::shared_ptr<sim::Policy> policy,
                                std::vector<sim::Invocation> trace,
                                obs::ObsSession* obs);
+
+/// Streaming variant: pulls the workload incrementally from a TraceSource
+/// (gen::SyntheticSource, workload::MaterializedSource, ...) instead of a
+/// pre-built invocation vector, so the trace never has to exist in memory
+/// all at once. Auditor sampling keys off source.size_hint(); everything
+/// else (auditor / obs wiring) matches the materialized overloads, and a
+/// MaterializedSource over the same trace yields bit-identical RunMetrics.
+sim::RunMetrics run_experiment(const sim::EngineConfig& cfg,
+                               std::shared_ptr<sim::Policy> policy,
+                               gen::TraceSource& source,
+                               obs::ObsSession* obs = nullptr);
 
 }  // namespace libra::exp

@@ -1,0 +1,59 @@
+#include "gen/gen_config.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace libra::gen {
+
+void GenConfig::validate() const {
+  if (functions < 1)
+    throw std::invalid_argument("GenConfig: functions must be >= 1, got " +
+                                std::to_string(functions));
+  if (!(rpm > 0.0))
+    throw std::invalid_argument("GenConfig: rpm must be > 0, got " +
+                                std::to_string(rpm));
+  if (!(duration > 0.0))
+    throw std::invalid_argument("GenConfig: duration must be > 0, got " +
+                                std::to_string(duration));
+  if (!(zipf_s >= 0.0))
+    throw std::invalid_argument("GenConfig: zipf_s must be >= 0, got " +
+                                std::to_string(zipf_s));
+  if (!(diurnal_amplitude >= 0.0) || diurnal_amplitude >= 1.0)
+    throw std::invalid_argument(
+        "GenConfig: diurnal_amplitude must be in [0, 1), got " +
+        std::to_string(diurnal_amplitude));
+  if (!(diurnal_period > 0.0))
+    throw std::invalid_argument("GenConfig: diurnal_period must be > 0, got " +
+                                std::to_string(diurnal_period));
+  if (!std::isfinite(diurnal_phase))
+    throw std::invalid_argument("GenConfig: diurnal_phase must be finite");
+  if (!(burst_episodes_per_min >= 0.0))
+    throw std::invalid_argument(
+        "GenConfig: burst_episodes_per_min must be >= 0, got " +
+        std::to_string(burst_episodes_per_min));
+  if (burst_episodes_per_min > 0.0) {
+    if (!(burst_size_mean >= 1.0))
+      throw std::invalid_argument(
+          "GenConfig: burst_size_mean must be >= 1 when episodes are "
+          "enabled, got " +
+          std::to_string(burst_size_mean));
+    if (!(burst_spacing > 0.0))
+      throw std::invalid_argument(
+          "GenConfig: burst_spacing must be > 0 when episodes are enabled, "
+          "got " +
+          std::to_string(burst_spacing));
+  }
+  if (!(mean_work > 0.0))
+    throw std::invalid_argument("GenConfig: mean_work must be > 0, got " +
+                                std::to_string(mean_work));
+}
+
+size_t GenConfig::expected_invocations() const {
+  const double base = rpm / 60.0 * duration;
+  const double bursts =
+      burst_episodes_per_min / 60.0 * duration * burst_size_mean;
+  return static_cast<size_t>(base + bursts);
+}
+
+}  // namespace libra::gen

@@ -1,0 +1,208 @@
+#include "gen/synthetic_source.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "workload/function_catalog.h"
+#include "workload/trace.h"
+
+namespace libra::gen {
+
+namespace {
+
+// Distinct fork tags so every stochastic component has its own stream: the
+// base arrival process is unaffected by how many episode or input draws
+// happen between its gaps.
+constexpr uint64_t kBaseTag = 0xba5eull;
+constexpr uint64_t kFuncTag = 0xf02cull;
+constexpr uint64_t kEpisodeTag = 0xb025ull;
+constexpr uint64_t kInputTag = 0x12b0ull;
+
+sim::FunctionPtr synth_function(const GenConfig& cfg, sim::FunctionId f) {
+  util::Rng r(util::mix64(util::mix64(cfg.seed ^ 0xca7a106ull) +
+                          static_cast<uint64_t>(f)));
+  // Developer allocations are capped at a 4-shard jetstream slice (see
+  // header); demands may exceed them — that is the harvest/accelerate mix.
+  const double alloc_cpu = static_cast<double>(r.uniform_int(1, 4));
+  const double alloc_mem =
+      std::clamp(std::round(r.lognormal(std::log(384.0), 0.7)), 128.0, 2048.0);
+  const sim::Resources alloc{alloc_cpu, alloc_mem};
+  // Per-function work scale: lognormal around the target mean, so the
+  // cross-function duration marginal is heavy-tailed even before the
+  // per-invocation noise.
+  const double work_scale = cfg.mean_work * r.lognormal(-0.5, 0.9);
+  const std::string name = "syn" + std::to_string(f);
+  if (r.bernoulli(0.5)) {
+    workload::SizeRelatedParams p;
+    p.size_lo = 1.0;
+    p.size_hi = r.uniform(200.0, 5000.0);
+    p.size_pareto_alpha = r.uniform(0.4, 1.6);
+    p.cpu_scale = r.uniform(0.2, 1.0);
+    p.cpu_power = r.uniform(0.2, 0.5);
+    p.cpu_cap = static_cast<int>(r.uniform_int(2, 8));
+    p.mem_base = r.uniform(64.0, 256.0);
+    p.mem_scale = r.uniform(0.05, 0.4);
+    p.mem_power = 1.0;
+    p.mem_cap = std::min(3600.0, p.mem_base + r.lognormal(std::log(300.0), 0.9));
+    p.work_base = 0.3 * work_scale;
+    p.work_scale = work_scale * r.uniform(0.001, 0.01);
+    p.work_power = r.uniform(0.8, 1.1);
+    p.noise_frac = 0.02;
+    p.spike_probability = r.uniform(0.0, 0.1);
+    p.spike_factor = r.uniform(1.5, 3.0);
+    p.min_mem = 64.0;
+    return std::make_shared<workload::SizeRelatedFunction>(f, name, alloc, p);
+  }
+  workload::SizeUnrelatedParams p;
+  p.size_lo = 1.0;
+  p.size_hi = r.uniform(100.0, 2000.0);
+  p.cpu_lo = 1;
+  p.cpu_hi = static_cast<int>(r.uniform_int(2, 8));
+  p.mem_lo = r.uniform(96.0, 256.0);
+  p.mem_hi = p.mem_lo + r.lognormal(std::log(250.0), 0.8);
+  const double sigma = r.uniform(0.4, 1.2);
+  // E[lognormal(mu, sigma)] = exp(mu + sigma^2/2) = work_scale.
+  p.work_mu = std::log(work_scale) - 0.5 * sigma * sigma;
+  p.work_sigma = sigma;
+  p.min_mem = 64.0;
+  return std::make_shared<workload::SizeUnrelatedFunction>(f, name, alloc, p);
+}
+
+}  // namespace
+
+sim::FunctionCatalog synthetic_catalog(const GenConfig& cfg) {
+  cfg.validate();
+  std::vector<sim::FunctionPtr> functions;
+  functions.reserve(static_cast<size_t>(cfg.functions));
+  for (int f = 0; f < cfg.functions; ++f)
+    functions.push_back(synth_function(cfg, static_cast<sim::FunctionId>(f)));
+  return sim::FunctionCatalog(std::move(functions));
+}
+
+SyntheticSource::SyntheticSource(GenConfig cfg)
+    : SyntheticSource(cfg, std::make_shared<const sim::FunctionCatalog>(
+                               synthetic_catalog(cfg))) {}
+
+SyntheticSource::SyntheticSource(
+    GenConfig cfg, std::shared_ptr<const sim::FunctionCatalog> catalog)
+    : cfg_(cfg),
+      catalog_(std::move(catalog)),
+      base_rng_(util::Rng(cfg.seed).fork(kBaseTag)),
+      func_rng_(util::Rng(cfg.seed).fork(kFuncTag)),
+      episode_rng_(util::Rng(cfg.seed).fork(kEpisodeTag)),
+      input_rng_(util::Rng(cfg.seed).fork(kInputTag)) {
+  cfg_.validate();
+  if (!catalog_ || catalog_->size() < static_cast<size_t>(cfg_.functions))
+    throw std::invalid_argument(
+        "SyntheticSource: catalog smaller than GenConfig::functions");
+  zipf_cdf_.resize(static_cast<size_t>(cfg_.functions));
+  double cum = 0.0;
+  for (int f = 0; f < cfg_.functions; ++f) {
+    cum += std::pow(static_cast<double>(f + 1), -cfg_.zipf_s);
+    zipf_cdf_[static_cast<size_t>(f)] = cum;
+  }
+  if (cfg_.burst_episodes_per_min > 0.0) {
+    episode_next_ =
+        episode_rng_.exponential(cfg_.burst_episodes_per_min / 60.0);
+    episodes_done_ = episode_next_ >= cfg_.duration;
+  } else {
+    episodes_done_ = true;
+  }
+}
+
+double SyntheticSource::rate_at(double t) const {
+  const double base = cfg_.rpm / 60.0;
+  return base * (1.0 + cfg_.diurnal_amplitude *
+                           std::sin(2.0 * M_PI * t / cfg_.diurnal_period +
+                                    cfg_.diurnal_phase));
+}
+
+sim::FunctionId SyntheticSource::sample_function(util::Rng& rng) const {
+  const double u = rng.uniform() * zipf_cdf_.back();
+  const auto it = std::upper_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+  const auto idx = static_cast<size_t>(
+      std::min<std::ptrdiff_t>(it - zipf_cdf_.begin(),
+                               static_cast<std::ptrdiff_t>(zipf_cdf_.size()) - 1));
+  return static_cast<sim::FunctionId>(idx);
+}
+
+void SyntheticSource::draw_base_arrival() {
+  // Lewis-Shedler thinning against the diurnal peak rate: candidate gaps at
+  // the max rate, accepted with probability rate(t)/rate_max.
+  const double rate_max = cfg_.rpm / 60.0 * (1.0 + cfg_.diurnal_amplitude);
+  double t = base_clock_;
+  for (;;) {
+    t += base_rng_.exponential(rate_max);
+    if (t >= cfg_.duration) {
+      base_done_ = true;
+      base_clock_ = cfg_.duration;
+      return;
+    }
+    if (base_rng_.uniform() * rate_max <= rate_at(t)) {
+      base_clock_ = t;
+      base_next_ = t;
+      return;
+    }
+  }
+}
+
+void SyntheticSource::materialize_episodes_until(double limit) {
+  while (!episodes_done_ && episode_next_ <= limit) {
+    const double start = episode_next_;
+    const sim::FunctionId func = sample_function(episode_rng_);
+    const auto count =
+        1 + episode_rng_.poisson(std::max(0.0, cfg_.burst_size_mean - 1.0));
+    double t = start;
+    for (int64_t i = 0; i < count; ++i) {
+      if (t < cfg_.duration)
+        burst_heap_.push(BurstArrival{t, burst_seq_++, func});
+      t += episode_rng_.exponential(1.0 / cfg_.burst_spacing);
+    }
+    episode_next_ +=
+        episode_rng_.exponential(cfg_.burst_episodes_per_min / 60.0);
+    if (episode_next_ >= cfg_.duration) episodes_done_ = true;
+  }
+}
+
+void SyntheticSource::refill() {
+  if (staged_ || exhausted_) return;
+  if (!base_done_ && base_next_ < 0.0) draw_base_arrival();
+  // Every episode starting at or before the next base candidate must be in
+  // the heap before the minimum is taken; unmaterialized episodes start
+  // strictly later than anything emitted now, so order is exact.
+  materialize_episodes_until(base_done_ ? cfg_.duration : base_next_);
+  if (!burst_heap_.empty() &&
+      (base_done_ || burst_heap_.top().time <= base_next_)) {
+    const BurstArrival& top = burst_heap_.top();
+    staged_ = Staged{top.time, top.func};
+    burst_heap_.pop();
+    return;
+  }
+  if (!base_done_) {
+    staged_ = Staged{base_next_, sample_function(func_rng_)};
+    base_next_ = -1.0;
+    return;
+  }
+  exhausted_ = true;
+}
+
+std::optional<sim::SimTime> SyntheticSource::peek_arrival() {
+  refill();
+  if (exhausted_) return std::nullopt;
+  return staged_->time;
+}
+
+sim::Invocation SyntheticSource::next() {
+  refill();
+  if (exhausted_)
+    throw std::logic_error("SyntheticSource: next() past the end");
+  const Staged s = *staged_;
+  staged_.reset();
+  const auto input = catalog_->at(s.func).sample_input(input_rng_);
+  return workload::make_invocation(*catalog_, next_id_++, s.func, input,
+                                   s.time);
+}
+
+}  // namespace libra::gen

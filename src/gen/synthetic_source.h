@@ -1,0 +1,100 @@
+// Seeded, lazily-evaluated Azure-style invocation stream (the planet-scale
+// workload of ROADMAP item #1). Nothing is materialized up front: arrivals
+// are drawn on demand by Lewis-Shedler thinning of the diurnal sinusoidal
+// rate, merged with Poisson-arriving on/off burst episodes through a small
+// pending heap, so generator memory is O(overlapping episodes) regardless of
+// how many invocations the stream spans. The same seed yields a
+// byte-identical stream (asserted by tests/test_gen.cpp).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "gen/gen_config.h"
+#include "gen/trace_source.h"
+#include "sim/function.h"
+#include "util/rng.h"
+
+namespace libra::gen {
+
+/// Builds the deterministic synthetic catalog for `cfg`: cfg.functions
+/// parametric models (a seed-derived mix of input-size-related and
+/// size-unrelated archetypes, lognormal work scales around cfg.mean_work,
+/// heavy-tailed memory footprints). Allocations are capped at 4 cores /
+/// 2 GB so every function fits a 4-shard slice of a 24-core jetstream node.
+sim::FunctionCatalog synthetic_catalog(const GenConfig& cfg);
+
+class SyntheticSource final : public TraceSource {
+ public:
+  /// Validates `cfg` and builds the catalog internally.
+  explicit SyntheticSource(GenConfig cfg);
+  /// Validates `cfg`; uses the caller's catalog (must have >= cfg.functions
+  /// entries — share it with the policy under test).
+  SyntheticSource(GenConfig cfg,
+                  std::shared_ptr<const sim::FunctionCatalog> catalog);
+
+  std::optional<sim::SimTime> peek_arrival() override;
+  sim::Invocation next() override;
+  sim::SimTime horizon() const override { return cfg_.duration; }
+  size_t size_hint() const override { return cfg_.expected_invocations(); }
+
+  const std::shared_ptr<const sim::FunctionCatalog>& catalog() const {
+    return catalog_;
+  }
+  /// Instantaneous aggregate base arrival rate at `t`, requests/second
+  /// (diurnal envelope only; bursts ride on top). Exposed for shape tests.
+  double rate_at(double t) const;
+  /// Invocations emitted so far.
+  int64_t emitted() const { return next_id_; }
+
+ private:
+  struct Staged {
+    double time;
+    sim::FunctionId func;
+  };
+  struct BurstArrival {
+    double time;
+    uint64_t seq;  // deterministic tie-break for equal times
+    sim::FunctionId func;
+  };
+  struct LaterBurst {
+    bool operator()(const BurstArrival& a, const BurstArrival& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Ensures staged_ holds the next arrival, or sets exhausted_.
+  void refill();
+  /// Draws the next base arrival by thinning; sets base_done_ at the window
+  /// end.
+  void draw_base_arrival();
+  /// Materializes every episode starting at or before `limit` into the heap.
+  void materialize_episodes_until(double limit);
+  sim::FunctionId sample_function(util::Rng& rng) const;
+
+  GenConfig cfg_;
+  std::shared_ptr<const sim::FunctionCatalog> catalog_;
+  util::Rng base_rng_;     // base process: gaps + thinning accepts
+  util::Rng func_rng_;     // base-arrival popularity draws
+  util::Rng episode_rng_;  // episode timing, function, size, spacing
+  util::Rng input_rng_;    // per-invocation input sampling
+  std::vector<double> zipf_cdf_;  // cumulative unnormalized Zipf weights
+
+  double base_clock_ = 0.0;  // thinning clock
+  double base_next_ = -1.0;  // staged base arrival (< 0 = none staged)
+  bool base_done_ = false;
+  double episode_next_ = -1.0;  // start time of the next unmaterialized episode
+  bool episodes_done_ = false;
+  uint64_t burst_seq_ = 0;
+  std::priority_queue<BurstArrival, std::vector<BurstArrival>, LaterBurst>
+      burst_heap_;
+
+  std::optional<Staged> staged_;
+  bool exhausted_ = false;
+  int64_t next_id_ = 0;
+};
+
+}  // namespace libra::gen

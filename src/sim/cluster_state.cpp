@@ -147,6 +147,10 @@ void ClusterState::refresh_usage(const Invocation& inv, bool stopping) {
 
 void ClusterState::record_series() {
   const SimTime t = host_.queue().now();
+  const double res = host_.config().series_resolution;
+  if (res > 0.0 && last_series_at_ >= 0.0 && t < last_series_at_ + res)
+    return;
+  last_series_at_ = t;
   RunMetrics& m = host_.metrics();
   m.cpu_used.record(t, used_now_.cpu);
   m.mem_used.record(t, used_now_.mem);

@@ -48,6 +48,9 @@ class ClusterState {
   /// Re-derives the invocation's contribution to the live usage sums.
   void refresh_usage(const Invocation& inv, bool stopping);
   /// Samples the four cluster series (used / allocated, cpu / mem) now.
+  /// When EngineConfig::series_resolution > 0, samples at most once per
+  /// resolution interval — the allocated-sum loop is O(#nodes), so planet-
+  /// scale runs must bound how often it runs (and how many points persist).
   void record_series();
 
  private:
@@ -60,6 +63,9 @@ class ClusterState {
   /// Live invocations currently holding a node reservation; kept in lockstep
   /// with try_reserve/release so audits stay O(placed), not O(all ever run).
   std::unordered_set<InvocationId> placed_;
+
+  // Last sampled series time; gates record_series under series_resolution.
+  SimTime last_series_at_ = -1.0;
 
   // Live usage accounting (cluster-wide sums, updated incrementally).
   Resources used_now_;

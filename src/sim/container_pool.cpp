@@ -12,6 +12,7 @@ ContainerPool::ContainerPool(ContainerPool&& other) noexcept
   warm_ = std::move(other.warm_);
   cold_starts_ = other.cold_starts_;
   warm_starts_ = other.warm_starts_;
+  last_sweep_ = other.last_sweep_;
 }
 
 void ContainerPool::evict_expired_locked(std::vector<SimTime>& stack,
@@ -24,15 +25,32 @@ void ContainerPool::evict_expired_locked(std::vector<SimTime>& stack,
               stack.end());
 }
 
+void ContainerPool::sweep_locked(SimTime now) {
+  if (now - last_sweep_ < cfg_.keep_alive) return;
+  last_sweep_ = now;
+  for (auto it = warm_.begin(); it != warm_.end();) {
+    evict_expired_locked(it->second, now);
+    if (it->second.empty())
+      it = warm_.erase(it);
+    else
+      ++it;
+  }
+}
+
 ContainerPool::Acquisition ContainerPool::acquire(FunctionId func,
                                                   SimTime now) {
   util::MutexLock lock(mu_);
-  auto& stack = warm_[func];
-  evict_expired_locked(stack, now);
-  if (!stack.empty()) {
-    stack.pop_back();
-    ++warm_starts_;
-    return {cfg_.warm_start_delay, false};
+  sweep_locked(now);
+  auto it = warm_.find(func);
+  if (it != warm_.end()) {
+    evict_expired_locked(it->second, now);
+    if (!it->second.empty()) {
+      it->second.pop_back();
+      if (it->second.empty()) warm_.erase(it);
+      ++warm_starts_;
+      return {cfg_.warm_start_delay, false};
+    }
+    warm_.erase(it);
   }
   ++cold_starts_;
   return {cfg_.cold_start_delay, true};
@@ -40,10 +58,12 @@ ContainerPool::Acquisition ContainerPool::acquire(FunctionId func,
 
 void ContainerPool::release(FunctionId func, SimTime now) {
   util::MutexLock lock(mu_);
+  sweep_locked(now);
   auto& stack = warm_[func];
   evict_expired_locked(stack, now);
   if (static_cast<int>(stack.size()) < cfg_.max_warm_per_function)
     stack.push_back(now);
+  if (stack.empty()) warm_.erase(func);
 }
 
 int ContainerPool::warm_count(FunctionId func, SimTime now) const {

@@ -70,8 +70,15 @@ class ContainerPool {
  private:
   void evict_expired_locked(std::vector<SimTime>& stack, SimTime now) const
       LIBRA_REQUIRES(mu_);
+  /// Amortized whole-map reclamation, at most once per keep_alive of sim
+  /// time: drops expired containers AND erases empty per-function entries,
+  /// so map size tracks the active working set instead of every function
+  /// the node has ever run (1000 nodes x 10k functions otherwise grows
+  /// without bound on long streaming runs).
+  void sweep_locked(SimTime now) LIBRA_REQUIRES(mu_);
 
   ContainerPoolConfig cfg_;
+  SimTime last_sweep_ LIBRA_GUARDED_BY(mu_) = 0.0;
   mutable util::Mutex mu_;
   /// Per function: stack of pause timestamps of warm containers (LIFO reuse
   /// keeps the most recently used container hottest).

@@ -41,6 +41,8 @@ Engine::Engine(EngineConfig cfg, std::shared_ptr<Policy> policy)
       cfg_.placement_timeout <= 0 ||
       cfg_.suspect_after_missed_pings <= 0 || cfg_.churn_horizon_pad < 0)
     throw std::invalid_argument("Engine: invalid fault-recovery knobs");
+  if (cfg_.series_resolution < 0 || cfg_.admission_lookahead < 0)
+    throw std::invalid_argument("Engine: negative streaming knob");
   cfg_.fault_plan.validate(cfg_.node_capacities.size());
   cfg_.fault_profile.validate();
   // The private-base upcast must happen here, inside Engine, where the base
@@ -96,6 +98,7 @@ RunMetrics Engine::run(std::vector<Invocation> trace) {
     (void)it;
     queue_.schedule(at, [this, id] { on_arrival(id); });
   }
+  metrics_.peak_live_records = static_cast<long>(invocations_.size());
   // Fault injection: materialize the churn timeline (scripted outages plus
   // the sampled crash process) and schedule it like any other event.
   fault_ = std::make_unique<fault::FaultInjector>(
@@ -110,15 +113,113 @@ RunMetrics Engine::run(std::vector<Invocation> trace) {
   }
   cluster_->start_health_pings(metrics_.first_arrival);
   queue_.run();
+  return finish_run();
+}
 
+RunMetrics Engine::run(gen::TraceSource& source) {
+  const auto first = source.peek_arrival();
+  if (!first.has_value()) return std::move(metrics_);
+  if (*first < 0.0)
+    throw std::invalid_argument("Engine: negative arrival time in stream");
+  source_done_ = false;
+  recycle_active_ = cfg_.recycle_records;
+  metrics_.first_arrival = *first;
+  // The churn horizon comes from the source's declared bound instead of a
+  // scan over the (never materialized) trace; MaterializedSource reports the
+  // exact last arrival, so replay digests are unaffected.
+  fault_ = std::make_unique<fault::FaultInjector>(
+      cfg_.fault_plan, cfg_.fault_profile, cluster_->nodes().size(),
+      source.horizon() + cfg_.churn_horizon_pad);
+  for (const auto& ev : fault_->churn()) {
+    const NodeId nid = ev.node;
+    if (ev.down)
+      queue_.schedule(ev.time, [this, nid] { cluster_->on_node_down(nid); });
+    else
+      queue_.schedule(ev.time, [this, nid] { cluster_->on_node_up(nid); });
+  }
+  cluster_->start_health_pings(metrics_.first_arrival);
+  SimTime last_admitted = *first;
+  for (;;) {
+    // Admit everything due at or before the next event (plus the look-ahead
+    // window). Arrivals enter on the event queue's arrival lane, so they
+    // beat every same-time dynamic event exactly as the materialized path's
+    // scheduled-first arrivals do.
+    while (!source_done_) {
+      const auto at = source.peek_arrival();
+      if (!at.has_value()) {
+        source_done_ = true;
+        break;
+      }
+      const SimTime due =
+          std::max(queue_.next_time(), queue_.now() + cfg_.admission_lookahead);
+      if (*at > due) break;
+      if (*at < last_admitted)
+        throw std::invalid_argument(
+            "Engine: stream not sorted by arrival time");
+      last_admitted = *at;
+      admit_streamed(source.next());
+    }
+    if (!queue_.step()) break;
+    if (!pending_recycle_.empty()) drain_recycle();
+  }
+  return finish_run();
+}
+
+void Engine::admit_streamed(Invocation&& inv) {
+  const InvocationId id = inv.id;
+  const SimTime at = inv.arrival;
+  ++total_;
+  bool inserted = false;
+  if (!inv_free_.empty()) {
+    auto nh = std::move(inv_free_.back());
+    inv_free_.pop_back();
+    nh.key() = id;
+    nh.mapped() = std::move(inv);
+    inserted = invocations_.insert(std::move(nh)).inserted;
+  } else {
+    inserted = invocations_.emplace(id, std::move(inv)).second;
+  }
+  if (!inserted)
+    throw std::invalid_argument("Engine: duplicate invocation id in stream");
+  metrics_.peak_live_records = std::max(
+      metrics_.peak_live_records, static_cast<long>(invocations_.size()));
+  queue_.schedule_arrival(at, [this, id] { on_arrival(id); });
+}
+
+void Engine::drain_recycle() {
+  for (const InvocationId id : pending_recycle_) {
+    auto it = invocations_.find(id);
+    if (it == invocations_.end()) continue;
+    Invocation& inv = it->second;
+    // A recycled record must have no live continuation: terminal, with its
+    // tracked events disarmed. Epoch/generation-guarded events that still
+    // hold the id resolve through find_invocation() and see the miss as the
+    // guard rejection it is.
+    LIBRA_AUDIT_CHECK(inv.done,
+                      "recycling non-terminal invocation " << inv.id);
+    LIBRA_AUDIT_CHECK(inv.completion_event == kInvalidEvent &&
+                          inv.monitor_event == kInvalidEvent,
+                      "recycling invocation " << inv.id
+                                              << " with armed events");
+    notify_audit("recycle", id);
+    inv_free_.push_back(invocations_.extract(it));
+  }
+  pending_recycle_.clear();
+}
+
+RunMetrics Engine::finish_run() {
   // Park records for anything that never reached completion (capacity
   // starvation) so the caller sees every invocation exactly once.
   for (auto& [id, inv] : invocations_) {
     if (!inv.done) lifecycle_->finalize_record(inv);
   }
-  metrics_.incomplete = 0;
-  for (const auto& rec : metrics_.invocations)
-    if (!rec.completed && !rec.lost) ++metrics_.incomplete;
+  if (cfg_.retain_records) {
+    metrics_.incomplete = 0;
+    for (const auto& rec : metrics_.invocations)
+      if (!rec.completed && !rec.lost) ++metrics_.incomplete;
+  } else {
+    metrics_.incomplete = metrics_.finalized_incomplete;
+  }
   if (metrics_.incomplete > 0)
     LIBRA_WARN() << metrics_.incomplete
                  << " invocations never completed (capacity starvation?)";

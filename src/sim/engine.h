@@ -18,6 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "gen/trace_source.h"
 #include "sim/cluster_state.h"
 #include "sim/engine_config.h"
 #include "sim/engine_host.h"
@@ -40,6 +41,14 @@ class Engine final : public EngineApi, private EngineHost {
   /// Runs the whole trace to completion and returns the collected metrics.
   /// The trace must be sorted by arrival time.
   RunMetrics run(std::vector<Invocation> trace);
+
+  /// Streaming run: pulls invocations from `source` just in time (plus
+  /// EngineConfig::admission_lookahead), so live memory tracks the in-flight
+  /// count instead of the stream length. Arrivals enter through the event
+  /// queue's arrival lane, which reproduces the materialized run's event
+  /// order exactly — a materialized trace pulled through this path yields
+  /// bit-identical RunMetrics (golden-digest asserted).
+  RunMetrics run(gen::TraceSource& source);
 
   // ---- EngineApi ----
   SimTime now() const override { return queue_.now(); }
@@ -79,24 +88,50 @@ class Engine final : public EngineApi, private EngineHost {
   ShardedController& controller() override { return *controller_; }
   // Invocation& invocation(InvocationId) — the public EngineApi override
   // above also overrides the identical EngineHost virtual.
+  Invocation* find_invocation(InvocationId id) override {
+    auto it = invocations_.find(id);
+    return it == invocations_.end() ? nullptr : &it->second;
+  }
   std::unordered_map<InvocationId, Invocation>& invocations_map() override {
     return invocations_;
+  }
+  void request_recycle(InvocationId id) override {
+    if (recycle_active_) pending_recycle_.push_back(id);
   }
   bool fault_active() const override { return fault_ && fault_->active(); }
   fault::FaultInjector* fault() override { return fault_.get(); }
   void mark_terminal() override { ++completed_; }
-  bool run_live() const override { return completed_ < total_; }
+  bool run_live() const override {
+    return !source_done_ || completed_ < total_;
+  }
   void notify_audit(const char* what, InvocationId inv = kNoInvocation,
                     NodeId node_id = kNoNode) override;
 
   void on_arrival(InvocationId id);
   void on_profiled(InvocationId id);
+  /// Inserts one streamed invocation (reusing a free-listed map node when
+  /// available) and schedules its arrival on the arrival lane.
+  void admit_streamed(Invocation&& inv);
+  /// Extracts terminal records queued by request_recycle() onto the free
+  /// list. Only called between events, never mid-callback.
+  void drain_recycle();
+  /// Common run epilogue: straggler sweep, incomplete accounting, cold/warm
+  /// totals, policy stats.
+  RunMetrics finish_run();
 
   EngineConfig cfg_;
   std::shared_ptr<Policy> policy_;
   ExecutionModel exec_;
   EventQueue queue_;
   std::unordered_map<InvocationId, Invocation> invocations_;
+  /// Free-listed map nodes from recycled terminal invocations.
+  std::vector<std::unordered_map<InvocationId, Invocation>::node_type>
+      inv_free_;
+  std::vector<InvocationId> pending_recycle_;
+  bool recycle_active_ = false;
+  /// False only while a streaming run still has unadmitted arrivals; keeps
+  /// run_live() (and thus the health-ping loop) honest about future work.
+  bool source_done_ = true;
 
   std::unique_ptr<fault::FaultInjector> fault_;  // built in run()
   long audit_event_id_ = 0;

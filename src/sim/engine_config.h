@@ -14,6 +14,8 @@
 
 namespace libra::sim {
 
+class InvocationRecordSink;
+
 struct EngineConfig {
   std::vector<Resources> node_capacities;
   int num_shards = 1;
@@ -65,6 +67,29 @@ struct EngineConfig {
   double suspect_after_missed_pings = 3.0;
   /// Sampled churn extends this far past the last trace arrival.
   double churn_horizon_pad = 120.0;
+
+  // ---- Streaming / planet-scale (gen::TraceSource runs) ----
+  /// Keep the per-invocation InvocationRecord vector in RunMetrics. Off:
+  /// records only flow through `record_sink` and RunMetrics keeps O(1)
+  /// counters — required for memory-flat 10M-invocation runs.
+  bool retain_records = true;
+  /// Optional per-record tap invoked at finalize time (completion, loss, or
+  /// the end-of-run straggler sweep) regardless of retain_records.
+  /// Non-owning.
+  InvocationRecordSink* record_sink = nullptr;
+  /// Minimum sim-time spacing between cluster utilization series samples.
+  /// 0 = record every change: exact, but O(#events) series memory plus an
+  /// O(#nodes) allocated-sum per sample — prohibitive at planet scale.
+  double series_resolution = 0.0;
+  /// Streaming admission look-ahead: arrivals due within this many
+  /// sim-seconds of the next pending event are admitted early. 0 = strict
+  /// just-in-time admission (minimal live set, same event order).
+  double admission_lookahead = 0.0;
+  /// Recycle terminal invocation records (their map nodes) through a free
+  /// list during streaming runs, so live memory tracks the in-flight count
+  /// instead of the stream length. Checked by the invariant auditor: a
+  /// recycled record is never referenced by a live continuation.
+  bool recycle_records = false;
 
   /// Invariant auditor (src/analysis) notified after every dispatched event.
   /// Non-owning; nullptr disables the cross-layer checks (the pool-internal

@@ -39,7 +39,17 @@ class EngineHost {
   virtual ShardedController& controller() = 0;
 
   virtual Invocation& invocation(InvocationId id) = 0;
+  /// Non-throwing lookup: nullptr when the id is unknown — e.g. recycled
+  /// after its terminal event in a streaming run. Epoch/generation-guarded
+  /// continuations use this: a miss means the guard would have rejected the
+  /// event anyway, so they return silently.
+  virtual Invocation* find_invocation(InvocationId id) = 0;
   virtual std::unordered_map<InvocationId, Invocation>& invocations_map() = 0;
+  /// Marks a TERMINAL invocation's record for free-list recycling. Deferred:
+  /// the engine drains requests only between events, so `Invocation&`
+  /// references held by the current callback chain stay valid. No-op unless
+  /// EngineConfig::recycle_records is on and a streaming run is active.
+  virtual void request_recycle(InvocationId id) = 0;
 
   /// True while fault injection is configured for this run (scripted plan or
   /// probabilistic profile). Gates the failure-handling paths so failure-free

@@ -4,35 +4,61 @@
 
 namespace libra::sim {
 
-EventId EventQueue::schedule(SimTime t, Callback fn) {
+EventId EventQueue::schedule_lane(SimTime t, uint64_t lane, Callback fn) {
   if (t < now_ - 1e-9)
     throw std::invalid_argument("EventQueue: scheduling into the past");
   if (t < now_) t = now_;  // absorb float noise
-  const EventId id = next_id_++;
-  heap_.push(Entry{t, next_seq_++, id});
-  callbacks_.emplace(id, std::move(fn));
-  return id;
+  uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+  } else {
+    slot = static_cast<uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  heap_.push(Entry{t, (lane << 62) | next_seq_++, slot, s.gen});
+  ++live_;
+  return (static_cast<EventId>(s.gen) << 32) | (slot + 1);
+}
+
+void EventQueue::release_slot(uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.fn = nullptr;
+  ++s.gen;
+  free_.push_back(slot);
 }
 
 void EventQueue::cancel(EventId id) {
-  auto it = callbacks_.find(id);
-  if (it == callbacks_.end()) return;  // already fired or cancelled
-  callbacks_.erase(it);
-  cancelled_.insert(id);
+  if (id == kInvalidEvent) return;
+  const auto slot = static_cast<uint32_t>((id & 0xffffffffu) - 1);
+  if (slot >= slots_.size()) return;
+  if (slots_[slot].gen != static_cast<uint32_t>(id >> 32))
+    return;  // already fired or cancelled (possibly reused since)
+  release_slot(slot);
+  --live_;
+  // The heap entry stays behind; step()/prune_stale() skip it by generation.
+}
+
+void EventQueue::prune_stale() {
+  while (!heap_.empty() && stale(heap_.top())) heap_.pop();
+}
+
+SimTime EventQueue::next_time() {
+  prune_stale();
+  return heap_.empty() ? std::numeric_limits<SimTime>::infinity()
+                       : heap_.top().time;
 }
 
 bool EventQueue::step() {
   while (!heap_.empty()) {
     const Entry top = heap_.top();
     heap_.pop();
-    if (auto c = cancelled_.find(top.id); c != cancelled_.end()) {
-      cancelled_.erase(c);
-      continue;
-    }
-    auto it = callbacks_.find(top.id);
-    if (it == callbacks_.end()) continue;  // defensive; should not happen
-    Callback fn = std::move(it->second);
-    callbacks_.erase(it);
+    if (stale(top)) continue;
+    Callback fn = std::move(slots_[top.slot].fn);
+    release_slot(top.slot);
+    --live_;
     now_ = top.time;
     fn();
     return true;
@@ -46,17 +72,9 @@ void EventQueue::run() {
 }
 
 void EventQueue::run_until(SimTime t) {
-  while (!heap_.empty()) {
-    // Peek past cancelled entries.
-    Entry top = heap_.top();
-    while (cancelled_.count(top.id)) {
-      heap_.pop();
-      cancelled_.erase(top.id);
-      if (heap_.empty()) break;
-      top = heap_.top();
-    }
-    if (heap_.empty()) break;
-    if (top.time > t) break;
+  for (;;) {
+    prune_stale();
+    if (heap_.empty() || heap_.top().time > t) break;
     step();
   }
   if (t > now_) now_ = t;

@@ -2,19 +2,27 @@
 // tie-breaking and O(log n) lazy cancellation. Completion events are
 // re-scheduled whenever an invocation's allocation changes (docker-update in
 // the real system), so cancellation is on the hot path.
+//
+// Storage is slot-based with a free list: a fired or cancelled event's slot
+// (and its std::function buffer) is recycled for the next schedule() instead
+// of round-tripping through unordered_map nodes, so steady-state scheduling
+// allocates nothing and live memory tracks the number of PENDING events —
+// the property the planet-scale streaming runs rely on. Handles pack a
+// per-slot generation so a stale EventId (already fired, cancelled, or its
+// slot reused) is always recognized and cancel() stays a safe no-op.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <queue>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "sim/types.h"
 
 namespace libra::sim {
 
+/// Opaque handle: (slot generation << 32) | (slot index + 1); never 0.
 using EventId = uint64_t;
 inline constexpr EventId kInvalidEvent = 0;
 
@@ -27,11 +35,22 @@ class EventQueue {
 
   /// Schedules `fn` at absolute time `t` (>= now). Returns a handle usable
   /// with cancel().
-  EventId schedule(SimTime t, Callback fn);
+  EventId schedule(SimTime t, Callback fn) {
+    return schedule_lane(t, kNormalLane, std::move(fn));
+  }
 
   /// Schedules `fn` after a relative delay.
   EventId schedule_after(SimTime delay, Callback fn) {
     return schedule(now_ + delay, std::move(fn));
+  }
+
+  /// Schedules an ARRIVAL: at equal timestamps it dispatches before every
+  /// normally scheduled event, regardless of scheduling order. The streaming
+  /// admission path uses this to reproduce the materialized engine's event
+  /// order, where all trace arrivals are scheduled ahead of every dynamic
+  /// event and therefore win every same-time tie.
+  EventId schedule_arrival(SimTime t, Callback fn) {
+    return schedule_lane(t, kArrivalLane, std::move(fn));
   }
 
   /// Cancels a pending event; no-op if already fired or cancelled.
@@ -46,30 +65,55 @@ class EventQueue {
   /// Dispatches events with time <= t, then advances now to t.
   void run_until(SimTime t);
 
-  /// Number of pending (non-cancelled) events.
-  size_t pending() const { return heap_.size() - cancelled_.size(); }
+  /// Time of the next pending event; +infinity when the queue is empty.
+  /// Prunes cancelled entries off the top, hence non-const.
+  SimTime next_time();
 
-  bool empty() const { return pending() == 0; }
+  /// Number of pending (non-cancelled) events.
+  size_t pending() const { return live_; }
+
+  bool empty() const { return live_ == 0; }
+
+  /// Slots ever allocated (live + free-listed) — the high-water mark of
+  /// simultaneously pending events, for memory-flatness assertions.
+  size_t slot_capacity() const { return slots_.size(); }
 
  private:
+  // Lane is folded into the high bits of the order key so the comparator
+  // stays a two-field compare: (time, then lane-then-seq).
+  static constexpr uint64_t kArrivalLane = 0;
+  static constexpr uint64_t kNormalLane = 1;
+
+  struct Slot {
+    Callback fn;
+    uint32_t gen = 0;  // bumped on fire/cancel; stale handles never match
+  };
   struct Entry {
     SimTime time;
-    uint64_t seq;  // FIFO tie-break
-    EventId id;
+    uint64_t order;  // (lane << 62) | seq — FIFO tie-break within a lane
+    uint32_t slot;
+    uint32_t gen;
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
       if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
+      return a.order > b.order;
     }
   };
 
+  EventId schedule_lane(SimTime t, uint64_t lane, Callback fn);
+  bool stale(const Entry& e) const { return slots_[e.slot].gen != e.gen; }
+  /// Disarms a slot and returns it to the free list.
+  void release_slot(uint32_t slot);
+  /// Pops cancelled/stale entries off the top of the heap.
+  void prune_stale();
+
   SimTime now_ = 0.0;
   uint64_t next_seq_ = 1;
-  EventId next_id_ = 1;
+  size_t live_ = 0;
+  std::vector<Slot> slots_;
+  std::vector<uint32_t> free_;
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_set<EventId> cancelled_;
-  std::unordered_map<EventId, Callback> callbacks_;
 };
 
 }  // namespace libra::sim

@@ -14,7 +14,11 @@
 namespace libra::sim {
 
 void InvocationLifecycle::begin_execution(InvocationId id, uint64_t epoch) {
-  Invocation& inv = host_.invocation(id);
+  // Epoch-guarded continuation: a recycled record means a newer epoch
+  // already invalidated this event, so a miss is the guard rejection.
+  Invocation* p = host_.find_invocation(id);
+  if (!p) return;
+  Invocation& inv = *p;
   if (inv.done || epoch != inv.placement_epoch) return;
   inv.running = true;
   inv.t_exec_start = host_.queue().now();
@@ -160,8 +164,11 @@ void InvocationLifecycle::monitor_tick(InvocationId id) {
 }
 
 void InvocationLifecycle::handle_oom(InvocationId id, uint64_t generation) {
-  Invocation& inv = host_.invocation(id);
+  Invocation* p = host_.find_invocation(id);
+  if (!p) return;  // generation-guarded; a recycled record rejects the event
+  Invocation& inv = *p;
   if (inv.done || generation != inv.completion_generation) return;
+  inv.completion_event = kInvalidEvent;  // this event; it just fired
   fold_progress(inv);
   ++inv.oom_count;
   ++host_.metrics().oom_events;
@@ -186,9 +193,9 @@ void InvocationLifecycle::handle_oom(InvocationId id, uint64_t generation) {
   const InvocationId iid = inv.id;
   host_.queue().schedule_after(
       host_.config().oom_restart_penalty, [this, iid, next_gen] {
-        Invocation& v = host_.invocation(iid);
-        if (v.done || next_gen != v.completion_generation) return;
-        schedule_progress_events(v);
+        Invocation* v = host_.find_invocation(iid);
+        if (!v || v->done || next_gen != v->completion_generation) return;
+        schedule_progress_events(*v);
       });
   host_.notify_audit("oom");
 }
@@ -247,8 +254,11 @@ void InvocationLifecycle::redispatch_after_oom(Invocation& inv) {
 
 void InvocationLifecycle::handle_completion(InvocationId id,
                                             uint64_t generation) {
-  Invocation& inv = host_.invocation(id);
+  Invocation* p = host_.find_invocation(id);
+  if (!p) return;  // generation-guarded; a recycled record rejects the event
+  Invocation& inv = *p;
   if (inv.done || generation != inv.completion_generation) return;
+  inv.completion_event = kInvalidEvent;  // this event; it just fired
   fold_progress(inv);
   inv.done = true;
   inv.running = false;
@@ -372,7 +382,15 @@ void InvocationLifecycle::finalize_record(Invocation& inv) {
     rec.stage_container = std::max(0.0, inv.t_exec_start - inv.t_pool_done);
     rec.stage_exec = std::max(0.0, inv.t_finish - inv.t_exec_start);
   }
-  host_.metrics().invocations.push_back(rec);
+  RunMetrics& m = host_.metrics();
+  ++m.finalized_records;
+  if (rec.completed) ++m.finalized_completed;
+  if (!rec.completed && !rec.lost) ++m.finalized_incomplete;
+  if (host_.config().record_sink) host_.config().record_sink->on_record(rec);
+  if (host_.config().retain_records) m.invocations.push_back(rec);
+  // Terminal either way (completion, loss, or straggler sweep): the record
+  // is eligible for free-list recycling once the current event unwinds.
+  host_.request_recycle(inv.id);
 }
 
 }  // namespace libra::sim

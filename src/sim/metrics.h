@@ -53,7 +53,18 @@ struct InvocationRecord {
   double stage_exec = 0.0;
 };
 
+/// Per-record tap for streaming runs: invoked exactly once per invocation at
+/// finalize time, in finalize order. Lets sketch-backed collectors (see
+/// exp::StreamingCollector) replace the O(#invocations) record vector.
+class InvocationRecordSink {
+ public:
+  virtual ~InvocationRecordSink() = default;
+  virtual void on_record(const InvocationRecord& rec) = 0;
+};
+
 struct RunMetrics {
+  /// Empty when EngineConfig::retain_records is off (streaming mode); the
+  /// finalized_* counters below are maintained either way.
   std::vector<InvocationRecord> invocations;
 
   // Cluster-wide piecewise-constant series.
@@ -92,7 +103,24 @@ struct RunMetrics {
   std::vector<double> recovery_latencies;
 
   /// Real (wall-clock) per-decision scheduling overhead samples, seconds.
+  /// Only populated while retain_records is on; the counters below stay
+  /// exact in streaming mode. (Excluded from the replay digest — wall-clock.)
   std::vector<double> sched_overhead_seconds;
+
+  // ---- Streaming counters (never part of the replay digest) ----
+  /// Scheduling decisions committed (speculated or serial).
+  long sched_decisions = 0;
+  /// Sum of wall-clock decision times, seconds (only measured when
+  /// measure_real_sched_overhead is on).
+  double sched_overhead_sum = 0.0;
+  /// Records finalized, maintained even when retain_records is off.
+  long finalized_records = 0;
+  long finalized_completed = 0;
+  long finalized_incomplete = 0;  // neither completed nor lost
+  /// High-water mark of simultaneously live Invocation structs — the
+  /// memory-flatness signal for streaming runs (equals the trace length for
+  /// materialized runs, tracks the in-flight count when recycling).
+  long peak_live_records = 0;
 
   PolicyStats policy;
 

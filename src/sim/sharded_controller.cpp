@@ -16,6 +16,18 @@ ShardedController::ShardedController(EngineHost& host) : host_(host) {
   shard_queues_.resize(shards);
   shard_busy_until_.assign(shards, 0.0);
   shard_registered_.assign(shards, false);
+  // Node capacities are fixed for the whole run, so the feasibility check in
+  // admit() only needs the distinct shard slices.
+  for (const auto& cap : host_.config().node_capacities) {
+    const Resources slice = cap / static_cast<double>(host_.config().num_shards);
+    bool seen = false;
+    for (const auto& c : distinct_shard_caps_)
+      if (c.cpu == slice.cpu && c.mem == slice.mem) {
+        seen = true;
+        break;
+      }
+    if (!seen) distinct_shard_caps_.push_back(slice);
+  }
 }
 
 ShardedController::~ShardedController() = default;
@@ -28,8 +40,8 @@ void ShardedController::admit(InvocationId id) {
   v.t_sched_enqueue = host_.queue().now();
   // Reject invocations that can never fit a shard slice anywhere.
   bool can_fit = false;
-  for (const auto& node : host_.cluster().nodes())
-    if (v.user_alloc.fits_in(node.shard_capacity())) can_fit = true;
+  for (const auto& cap : distinct_shard_caps_)
+    if (v.user_alloc.fits_in(cap)) can_fit = true;
   if (!can_fit) {
     LIBRA_ERROR() << "invocation " << v.id
                   << " can never fit any shard slice; dropping";
@@ -161,18 +173,24 @@ void ShardedController::commit_one(InvocationId id,
   EngineApi& api = host_.api();
   RunMetrics& metrics = host_.metrics();
   const SimTime now = host_.queue().now();
+  ++metrics.sched_decisions;
   NodeId chosen = kNoNode;
   if (speculated.has_value()) {
     host_.policy().commit_select(inv, api);
     chosen = *speculated;
-    if (host_.config().measure_real_sched_overhead)
-      metrics.sched_overhead_seconds.push_back(decision_seconds);
+    if (host_.config().measure_real_sched_overhead) {
+      metrics.sched_overhead_sum += decision_seconds;
+      if (host_.config().retain_records)
+        metrics.sched_overhead_seconds.push_back(decision_seconds);
+    }
   } else if (host_.config().measure_real_sched_overhead) {
     const auto t0 = std::chrono::steady_clock::now();
     chosen = host_.policy().select_node(inv, api);
     const auto t1 = std::chrono::steady_clock::now();
-    metrics.sched_overhead_seconds.push_back(
-        std::chrono::duration<double>(t1 - t0).count());
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+    metrics.sched_overhead_sum += secs;
+    if (host_.config().retain_records)
+      metrics.sched_overhead_seconds.push_back(secs);
   } else {
     chosen = host_.policy().select_node(inv, api);
   }

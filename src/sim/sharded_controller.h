@@ -69,6 +69,11 @@ class ShardedController {
 
   EngineHost& host_;
 
+  /// Distinct shard-slice capacities across the fleet (usually one entry —
+  /// homogeneous nodes), precomputed so admit()'s can-ever-fit rejection is
+  /// O(distinct capacities) instead of O(#nodes) per invocation.
+  std::vector<Resources> distinct_shard_caps_;
+
   std::vector<std::deque<InvocationId>> shard_queues_;
   std::vector<SimTime> shard_busy_until_;
   /// True while the shard sits in a pending batch (mirrors the serial

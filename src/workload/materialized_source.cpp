@@ -1,0 +1,30 @@
+#include "workload/materialized_source.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace libra::workload {
+
+MaterializedSource::MaterializedSource(std::vector<sim::Invocation> trace)
+    : trace_(std::move(trace)) {
+  for (size_t i = 0; i < trace_.size(); ++i) {
+    if (i > 0 && trace_[i].arrival < trace_[i - 1].arrival)
+      throw std::invalid_argument(
+          "MaterializedSource: trace not sorted by arrival time (index " +
+          std::to_string(i) + ")");
+    last_arrival_ = std::max(last_arrival_, trace_[i].arrival);
+  }
+}
+
+std::optional<sim::SimTime> MaterializedSource::peek_arrival() {
+  if (pos_ >= trace_.size()) return std::nullopt;
+  return trace_[pos_].arrival;
+}
+
+sim::Invocation MaterializedSource::next() {
+  if (pos_ >= trace_.size())
+    throw std::logic_error("MaterializedSource: next() past the end");
+  return std::move(trace_[pos_++]);
+}
+
+}  // namespace libra::workload

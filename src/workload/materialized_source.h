@@ -1,0 +1,32 @@
+// Adapter: wraps a fully materialized trace (today's generate_trace output)
+// behind the pull-based gen::TraceSource interface, so every existing
+// scenario can run through the engine's streaming admission path. Pulling a
+// materialized trace through the stream must reproduce the materialized
+// run's RunMetrics digest bit-for-bit (asserted by tests/test_streaming.cpp).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "gen/trace_source.h"
+#include "sim/invocation.h"
+
+namespace libra::workload {
+
+class MaterializedSource final : public gen::TraceSource {
+ public:
+  /// The trace must be sorted by arrival (same contract as Engine::run).
+  explicit MaterializedSource(std::vector<sim::Invocation> trace);
+
+  std::optional<sim::SimTime> peek_arrival() override;
+  sim::Invocation next() override;
+  sim::SimTime horizon() const override { return last_arrival_; }
+  size_t size_hint() const override { return trace_.size(); }
+
+ private:
+  std::vector<sim::Invocation> trace_;
+  size_t pos_ = 0;
+  sim::SimTime last_arrival_ = 0.0;
+};
+
+}  // namespace libra::workload

@@ -86,7 +86,7 @@ TEST(Report, QuantileEvaluatorSketchesAboveThreshold) {
     EXPECT_GE(approx, exact / 2.0) << q;
     EXPECT_LE(approx, exact * 2.0) << q;
   }
-  EXPECT_THROW(exp::QuantileEvaluator({}).quantile(50.0),
+  EXPECT_THROW(exp::QuantileEvaluator(std::vector<double>{}).quantile(50.0),
                std::invalid_argument);
 }
 

@@ -1,0 +1,215 @@
+// Streaming-equivalence guard for the pull-based TraceSource path: a
+// materialized trace pulled through Engine::run(gen::TraceSource&) must
+// reproduce the pre-refactor golden replay digests BIT-FOR-BIT (same pinned
+// constants as tests/test_golden_replay.cpp), with 1 and 4 scheduler
+// workers, with and without invocation-record recycling. Also checks the
+// sketch-backed sink mode (retain_records off): its aggregates must match
+// the retained records, and live memory must track the in-flight count.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exp/digest.h"
+#include "exp/platforms.h"
+#include "exp/report.h"
+#include "exp/runner.h"
+#include "exp/streaming_collector.h"
+#include "gen/synthetic_source.h"
+#include "util/stats.h"
+#include "workload/function_catalog.h"
+#include "workload/materialized_source.h"
+#include "workload/trace.h"
+
+namespace libra {
+namespace {
+
+struct StreamCase {
+  const char* name;
+  uint64_t digest;  // pinned in tests/test_golden_replay.cpp
+};
+
+// Same constants as the materialized golden-replay table: the streaming
+// admission path must be event-for-event identical, not merely similar.
+constexpr StreamCase kGolden[] = {
+    {"default", 0xf87d77ec968fee23ull},
+    {"freyr", 0xb9ecae76596e2c0eull},
+    {"libra", 0xac77ca122e58b2c2ull},
+    {"libra_trust", 0x237fec999743e68dull},
+    {"sched_rr", 0x59f634a72cbb53b6ull},
+    {"sched_jsq", 0x919322664ea5b59eull},
+    {"sched_mws", 0x92c87c8b746a9682ull},
+};
+
+std::shared_ptr<const sim::FunctionCatalog> catalog() {
+  static auto cat =
+      std::make_shared<const sim::FunctionCatalog>(workload::sebs_catalog());
+  return cat;
+}
+
+void build_scenario(const std::string& name, sim::EngineConfig* cfg,
+                    std::shared_ptr<sim::Policy>* policy,
+                    std::vector<sim::Invocation>* trace) {
+  auto cat = catalog();
+  if (name == "default" || name == "freyr" || name == "libra" ||
+      name == "libra_trust") {
+    *cfg = exp::jetstream_config(8, 4);
+    *trace = workload::multi_trace(*cat, 120, 5);
+    const exp::PlatformKind kind =
+        name == "default"  ? exp::PlatformKind::kDefault
+        : name == "freyr"  ? exp::PlatformKind::kFreyr
+        : name == "libra"  ? exp::PlatformKind::kLibra
+                           : exp::PlatformKind::kLibraTrust;
+    *policy = exp::make_platform(kind, cat);
+  } else {
+    *cfg = exp::multi_node_config(4);
+    *trace = workload::multi_trace(*cat, 120, 7);
+    const exp::SchedulerKind kind =
+        name == "sched_rr"    ? exp::SchedulerKind::kRoundRobin
+        : name == "sched_jsq" ? exp::SchedulerKind::kJsq
+                              : exp::SchedulerKind::kMws;
+    *policy = exp::make_scheduler_platform(kind, cat);
+  }
+}
+
+uint64_t run_streamed(const std::string& name, int sched_workers,
+                      bool recycle) {
+  sim::EngineConfig cfg;
+  std::shared_ptr<sim::Policy> policy;
+  std::vector<sim::Invocation> trace;
+  build_scenario(name, &cfg, &policy, &trace);
+  cfg.sched_workers = sched_workers;
+  cfg.recycle_records = recycle;
+  workload::MaterializedSource source(std::move(trace));
+  const auto metrics = exp::run_experiment(cfg, policy, source);
+  return exp::run_metrics_digest(metrics);
+}
+
+class StreamingGolden : public ::testing::TestWithParam<StreamCase> {};
+
+TEST_P(StreamingGolden, OneWorkerMatchesGoldenDigest) {
+  const auto& c = GetParam();
+  EXPECT_EQ(exp::digest_hex(run_streamed(c.name, 1, false)),
+            exp::digest_hex(c.digest))
+      << "streaming admission diverged from the materialized path for "
+      << c.name;
+}
+
+TEST_P(StreamingGolden, FourWorkersMatchGoldenDigest) {
+  const auto& c = GetParam();
+  EXPECT_EQ(exp::digest_hex(run_streamed(c.name, 4, false)),
+            exp::digest_hex(c.digest))
+      << "streaming admission diverged from the materialized path for "
+      << c.name << " with sched_workers=4";
+}
+
+TEST_P(StreamingGolden, RecyclingPreservesGoldenDigest) {
+  const auto& c = GetParam();
+  EXPECT_EQ(exp::digest_hex(run_streamed(c.name, 1, true)),
+            exp::digest_hex(c.digest))
+      << "record recycling perturbed the replay for " << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScenarios, StreamingGolden,
+                         ::testing::ValuesIn(kGolden),
+                         [](const auto& info) {
+                           return std::string(info.param.name);
+                         });
+
+// ---------------- sink mode (retain_records off) ----------------
+
+TEST(Streaming, SinkAggregatesMatchRetainedRecords) {
+  // Reference: retained records through the materialized path.
+  sim::EngineConfig cfg;
+  std::shared_ptr<sim::Policy> policy;
+  std::vector<sim::Invocation> trace;
+  build_scenario("libra", &cfg, &policy, &trace);
+  auto trace_copy = trace;
+  const auto retained = exp::run_experiment(cfg, policy, std::move(trace));
+
+  // Sink mode: no record vector, records recycled, collector sketches.
+  sim::EngineConfig scfg;
+  std::shared_ptr<sim::Policy> spolicy;
+  std::vector<sim::Invocation> unused;
+  build_scenario("libra", &scfg, &spolicy, &unused);
+  scfg.retain_records = false;
+  scfg.recycle_records = true;
+  exp::StreamingCollector collector;
+  scfg.record_sink = &collector;
+  workload::MaterializedSource source(std::move(trace_copy));
+  const auto streamed = exp::run_experiment(scfg, spolicy, source);
+
+  EXPECT_TRUE(streamed.invocations.empty());
+  ASSERT_EQ(collector.records(),
+            static_cast<long>(retained.invocations.size()));
+  EXPECT_EQ(streamed.finalized_records,
+            static_cast<long>(retained.invocations.size()));
+
+  long retained_completed = 0, retained_cold = 0;
+  for (const auto& rec : retained.invocations) {
+    if (rec.completed) ++retained_completed;
+    if (rec.cold_start) ++retained_cold;
+  }
+  EXPECT_EQ(collector.completed(), retained_completed);
+  EXPECT_EQ(streamed.finalized_completed, retained_completed);
+  EXPECT_EQ(collector.cold_starts(), retained_cold);
+  EXPECT_EQ(streamed.cold_starts, retained.cold_starts);
+  EXPECT_EQ(streamed.oom_events, retained.oom_events);
+  EXPECT_DOUBLE_EQ(collector.goodput(), retained.goodput());
+
+  // Sketch quantiles are approximate (log buckets, growth 2): within one
+  // bucket of the exact values.
+  const auto exact = retained.response_latencies();
+  exp::QuantileEvaluator sketch(collector.latency());
+  EXPECT_TRUE(sketch.sketched());
+  for (double p : {50.0, 90.0, 99.0}) {
+    const double e = util::percentile(exact, p);
+    const double s = sketch.quantile(p);
+    EXPECT_GE(s, e / 2.0) << p;
+    EXPECT_LE(s, e * 2.0) << p;
+  }
+}
+
+TEST(Streaming, RecyclingKeepsLiveRecordsBelowTraceLength) {
+  sim::EngineConfig cfg;
+  std::shared_ptr<sim::Policy> policy;
+  std::vector<sim::Invocation> trace;
+  build_scenario("default", &cfg, &policy, &trace);
+  const size_t n = trace.size();
+  cfg.retain_records = false;
+  cfg.recycle_records = true;
+  workload::MaterializedSource source(std::move(trace));
+  const auto m = exp::run_experiment(cfg, policy, source);
+  EXPECT_EQ(m.finalized_records, static_cast<long>(n));
+  EXPECT_GT(m.peak_live_records, 0);
+  // The whole point of recycling: live records track in-flight count, not
+  // stream length. multi_trace(120) spreads arrivals over a minute, so the
+  // engine must never have held every record at once.
+  EXPECT_LT(m.peak_live_records, static_cast<long>(n));
+}
+
+// ---------------- synthetic source end-to-end ----------------
+
+TEST(Streaming, SyntheticSourceIsDeterministicAcrossWorkerCounts) {
+  gen::GenConfig gcfg;
+  gcfg.functions = 200;
+  gcfg.rpm = 3000.0;
+  gcfg.duration = 60.0;
+  gcfg.seed = 99;
+  const auto run = [&](int workers) {
+    auto catalog = std::make_shared<const sim::FunctionCatalog>(
+        gen::synthetic_catalog(gcfg));
+    gen::SyntheticSource source(gcfg, catalog);
+    auto cfg = exp::jetstream_config(8, 4);
+    cfg.sched_workers = workers;
+    auto policy = exp::make_platform(exp::PlatformKind::kDefault, catalog);
+    return exp::run_metrics_digest(exp::run_experiment(cfg, policy, source));
+  };
+  const uint64_t one = run(1);
+  EXPECT_EQ(one, run(1)) << "same seed must replay bit-identically";
+  EXPECT_EQ(one, run(4)) << "worker count must not perturb the replay";
+}
+
+}  // namespace
+}  // namespace libra
