@@ -49,6 +49,7 @@ void InvariantAuditor::check_pool_conservation(const HarvestResourcePool& pool,
   std::unordered_map<InvocationId, const core::HarvestResourcePool::DebugEntry*>
       by_source;
   for (const auto& e : st.entries) by_source[e.source] = &e;
+  // LIBRA_LINT_ALLOW(unordered-iteration): audit-only sweep — every element gets the same order-independent check, and a violation aborts
   for (const auto& [source, amount] : borrowed) {
     LIBRA_AUDIT_CHECK(by_source.count(source) != 0,
                       origin << ": outstanding grant references source "
@@ -103,6 +104,7 @@ void InvariantAuditor::check_recycle(sim::EngineApi& api, InvocationId id,
                                    << " still holds a node reservation");
   }
   if (!policy_) return;
+  // LIBRA_LINT_ALLOW(unordered-iteration): audit-only sweep — every pool gets the same order-independent check, and a violation aborts
   for (const auto& [node_id, pool] : policy_->pools_for_audit()) {
     const auto st = pool.debug_state();
     for (const auto& b : st.borrows) {
@@ -167,6 +169,7 @@ void InvariantAuditor::sweep(sim::EngineApi& api, const char* what) const {
   if (!policy_) return;
 
   // ---- Pool sweeps: conservation + grant liveness + down-node emptiness ----
+  // LIBRA_LINT_ALLOW(unordered-iteration): audit-only sweep — every pool gets the same order-independent check, and a violation aborts
   for (const auto& [node_id, pool] : policy_->pools_for_audit()) {
     check_pool_conservation(pool, what);
     const auto st = pool.debug_state();

@@ -71,6 +71,7 @@ HarvestResourcePool& LibraPolicy::pool_for(NodeId node) {
 
 void LibraPolicy::set_pool_listener(PoolEventListener* listener) {
   pool_listener_ = listener;
+  // LIBRA_LINT_ALLOW(unordered-iteration): order-insensitive broadcast — every pool gets the same listener pointer
   for (auto& [node, pool] : pools_) pool.set_event_listener(listener);
 }
 
@@ -517,11 +518,19 @@ PoolStatus LibraPolicy::pool_status(NodeId node) const {
 
 sim::PolicyStats LibraPolicy::stats() const {
   sim::PolicyStats out = stats_;
-  for (const auto& [node, pool] : pools_) {
+  // Accumulate in node-id order, never hash order: floating-point addition
+  // is not associative, so a hash-ordered sum would make the reported
+  // integrals depend on the container's bucket layout.
+  std::vector<sim::NodeId> node_ids;
+  node_ids.reserve(pools_.size());
+  // LIBRA_LINT_ALLOW(unordered-iteration): collects keys into a vector that is sorted before use
+  for (const auto& [node, pool] : pools_) node_ids.push_back(node);
+  std::sort(node_ids.begin(), node_ids.end());
+  for (const sim::NodeId node : node_ids) {
     // Single combined read: the (cpu, mem) idle integrals are a pair kept
     // consistent under one lock; reading them through two separate accessors
     // could interleave with a concurrent put()/get() and tear the pair.
-    const auto ii = pool.idle_integrals(last_seen_now_);
+    const auto ii = pools_.at(node).idle_integrals(last_seen_now_);
     out.pool_idle_cpu_core_seconds += ii.cpu_core_seconds;
     out.pool_idle_mem_mb_seconds += ii.mem_mb_seconds;
   }

@@ -112,6 +112,7 @@ void ObsSession::close_span(double ts, long long inv) {
 void ObsSession::close_spans_on_node(double ts, sim::NodeId node) {
   if (!cfg_.spans || node == sim::kNoNode) return;
   std::vector<long long> victims;
+  // LIBRA_LINT_ALLOW(unordered-iteration): collects ids into a vector that is sorted before use
   for (const auto& [id, st] : span_state_)
     if (st.open && st.node == node) victims.push_back(id);
   std::sort(victims.begin(), victims.end());
@@ -278,6 +279,7 @@ void ObsSession::finish(const sim::RunMetrics& metrics) {
   // Close spans of invocations that never reached a terminal engine event
   // (lost mid-flight, parked at the horizon), deterministically by id.
   std::vector<long long> open;
+  // LIBRA_LINT_ALLOW(unordered-iteration): collects ids into a vector that is sorted before use
   for (const auto& [id, st] : span_state_)
     if (st.open) open.push_back(id);
   std::sort(open.begin(), open.end());

@@ -20,6 +20,7 @@ ClusterState::ClusterState(EngineHost& host) : host_(host) {
 }
 
 std::vector<InvocationId> ClusterState::placed_invocations() const {
+  // LIBRA_LINT_ALLOW(unordered-iteration): copied into a vector that is sorted on the next line
   std::vector<InvocationId> out(placed_.begin(), placed_.end());
   std::sort(out.begin(), out.end());  // set order is not deterministic
   return out;
@@ -99,6 +100,7 @@ void ClusterState::on_node_down(NodeId node_id) {
   host_.policy().on_node_down(node_id, host_.api());
   n.set_up(false);
   std::vector<InvocationId> victims;
+  // LIBRA_LINT_ALLOW(unordered-iteration): collects ids into a vector that is sorted before use
   for (const auto& [id, inv] : host_.invocations_map())
     if (!inv.done && inv.node == node_id) victims.push_back(id);
   std::sort(victims.begin(), victims.end());  // map order is not deterministic

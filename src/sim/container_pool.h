@@ -77,7 +77,7 @@ class ContainerPool {
   /// without bound on long streaming runs).
   void sweep_locked(SimTime now) LIBRA_REQUIRES(mu_);
 
-  ContainerPoolConfig cfg_;
+  const ContainerPoolConfig cfg_;  // immutable after construction
   SimTime last_sweep_ LIBRA_GUARDED_BY(mu_) = 0.0;
   mutable util::Mutex mu_;
   /// Per function: stack of pause timestamps of warm containers (LIFO reuse

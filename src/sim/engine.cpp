@@ -209,10 +209,16 @@ void Engine::drain_recycle() {
 
 RunMetrics Engine::finish_run() {
   // Park records for anything that never reached completion (capacity
-  // starvation) so the caller sees every invocation exactly once.
-  for (auto& [id, inv] : invocations_) {
-    if (!inv.done) lifecycle_->finalize_record(inv);
+  // starvation) so the caller sees every invocation exactly once. Finalize
+  // in id order, never in hash order: these records land in
+  // metrics_.invocations, which the exporters and replay digests consume.
+  std::vector<InvocationId> unfinished;
+  // LIBRA_LINT_ALLOW(unordered-iteration): collects ids into a vector that is sorted before use
+  for (const auto& [id, inv] : invocations_) {
+    if (!inv.done) unfinished.push_back(id);
   }
+  std::sort(unfinished.begin(), unfinished.end());
+  for (InvocationId id : unfinished) lifecycle_->finalize_record(invocation(id));
   if (cfg_.retain_records) {
     metrics_.incomplete = 0;
     for (const auto& rec : metrics_.invocations)

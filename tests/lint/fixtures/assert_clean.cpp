@@ -1,0 +1,14 @@
+// libra-lint fixture: LIBRA_AUDIT_CHECK and identifiers merely containing
+// "assert" must not fire bare-assert.
+namespace fixture {
+
+struct Checker {
+  void assert_ok();
+};
+
+inline void check(int x, Checker& c) {
+  LIBRA_AUDIT_CHECK(x > 0, "x must be positive");
+  c.assert_ok();
+}
+
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// libra-lint fixture: a bare assert() in src/ must fire bare-assert.
+#include <cassert>
+
+namespace fixture {
+
+inline void check(int x) {
+  assert(x > 0);
+}
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// libra-lint fixture: a fully annotated util::Mutex owner — guarded members
+// carry LIBRA_GUARDED_BY, and const/atomic/condition_variable members are
+// exempt by type.
+#include <atomic>
+#include <condition_variable>
+
+namespace fixture {
+
+class Tracker {
+ public:
+  void add(double v);
+
+ private:
+  mutable util::Mutex mu_;
+  double total_ LIBRA_GUARDED_BY(mu_) = 0.0;
+  long count_ LIBRA_GUARDED_BY(mu_) = 0;
+  const int capacity_ = 8;
+  std::atomic<long> hits_{0};
+  std::condition_variable drained_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// libra-lint fixture: guarded-by-coverage fires twice in Tracker (two
+// unannotated mutable members of a util::Mutex owner) and once in Legacy
+// (raw std::mutex member).
+#include <mutex>
+#include <string>
+
+namespace fixture {
+
+class Tracker {
+ public:
+  void add(double v);
+
+ private:
+  mutable util::Mutex mu_;
+  double total_ = 0.0;
+  std::string name_;
+};
+
+class Legacy {
+ private:
+  std::mutex mu_;
+};
+
+}  // namespace fixture

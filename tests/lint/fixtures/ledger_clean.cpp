@@ -1,0 +1,18 @@
+// libra-lint fixture: explicit static_cast / lround / floor conversions in
+// ledger arithmetic must not fire ledger-narrowing.
+#include <cmath>
+
+namespace fixture {
+
+struct Resources {
+  double cpu = 0.0;
+  double mem = 0.0;
+};
+
+inline long explicit_narrowing(const Resources& r) {
+  const long cores = static_cast<long>(std::floor(r.cpu));
+  const double mb = r.mem;
+  return cores + static_cast<long>(std::lround(mb));
+}
+
+}  // namespace fixture

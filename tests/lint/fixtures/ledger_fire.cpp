@@ -1,0 +1,19 @@
+// libra-lint fixture: ledger-narrowing fires five times when analyzed under
+// a ledger rule path (src/core/harvest_pool_fixture.cpp): one float keyword,
+// two C-style casts, and two implicit double->integer declarations (the
+// `cores` line carries both a cast and a narrowing-decl finding).
+namespace fixture {
+
+struct Resources {
+  double cpu = 0.0;
+  double mem = 0.0;
+};
+
+inline long narrow_all(const Resources& r) {
+  float ratio = 0.5f;
+  long cores = (long)r.cpu;
+  int mb = r.mem;
+  return cores + mb + (long)ratio;
+}
+
+}  // namespace fixture

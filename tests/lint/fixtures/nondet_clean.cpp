@@ -1,0 +1,21 @@
+// libra-lint fixture: deterministic idioms that must NOT fire
+// nondeterminism-source — randomness via a seeded Rng, time via the sim
+// queue's member now() (member access is not a wall clock).
+#include <cstdint>
+
+namespace fixture {
+
+struct Rng {
+  uint64_t next();
+  Rng fork(uint64_t stream);
+};
+
+struct EventQueue {
+  double now() const;
+};
+
+inline uint64_t draw(Rng& rng) { return rng.fork(7).next(); }
+
+inline double stamp(const EventQueue& queue) { return queue.now(); }
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// libra-lint fixture: every nondeterminism source fires when analyzed under
+// a sim-core rule path (the self-test uses src/sim/nondet_fire.cpp). Never
+// compiled — token-level input for tests/test_lint_fixtures.cpp.
+#include <chrono>
+#include <cstdlib>
+#include <functional>
+#include <random>
+
+namespace fixture {
+
+inline int roll() { return std::rand(); }
+
+inline const char* home() { return std::getenv("HOME"); }
+
+inline double wall() {
+  const auto t = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+inline unsigned hw_seed() { return std::random_device{}(); }
+
+inline size_t keyed(const void* p) { return std::hash<const void*>{}(p); }
+
+}  // namespace fixture

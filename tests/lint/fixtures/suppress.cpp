@@ -1,0 +1,24 @@
+// libra-lint fixture for the suppression grammar, analyzed with only
+// nondeterminism-source enabled:
+//   - a reasoned ALLOW on the line above covers the next line (suppressed),
+//   - a bare call with no ALLOW stays unsuppressed,
+//   - a missing ': <reason>' and an unknown check name each produce an
+//     unsuppressable bad-suppression finding, and the lines they were meant
+//     to cover stay unsuppressed.
+#include <chrono>
+#include <cstdlib>
+
+namespace fixture {
+
+// LIBRA_LINT_ALLOW(nondeterminism-source): fixture exercising next-line coverage
+inline auto stamped() { return std::chrono::steady_clock::now(); }
+
+inline int fires() { return std::rand(); }
+
+// LIBRA_LINT_ALLOW(nondeterminism-source)
+inline int missing_reason() { return std::rand(); }
+
+// LIBRA_LINT_ALLOW(no-such-check): the check name does not exist
+inline int unknown_check() { return std::rand(); }
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// libra-lint fixture: LIBRA_LINT_ALLOW_FILE(bare-assert): fixture proving file-wide coverage
+// Both asserts below must be reported as findings but suppressed by the
+// file-wide marker above.
+#include <cassert>
+
+namespace fixture {
+
+inline void first(int x) { assert(x > 0); }
+
+inline void second(int x) { assert(x < 100); }
+
+}  // namespace fixture

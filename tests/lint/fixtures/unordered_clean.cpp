@@ -1,0 +1,29 @@
+// libra-lint fixture: the sorted-snapshot idiom — the collect loop carries a
+// reasoned ALLOW (the self-test asserts it is honored, i.e. present but
+// suppressed), and ordered-map iteration never fires at all.
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+struct Host {
+  std::unordered_map<int, double> items;
+};
+
+inline std::vector<int> sorted_keys(const Host& h) {
+  std::vector<int> keys;
+  // LIBRA_LINT_ALLOW(unordered-iteration): collects keys into a vector that is sorted before use
+  for (const auto& [key, value] : h.items) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+inline double ordered_sum(const std::map<int, double>& m) {
+  double total = 0.0;
+  for (const auto& [key, value] : m) total += value;
+  return total;
+}
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// libra-lint fixture: unordered-iteration must fire on the range-for and on
+// the .begin() iterator walk; the SymbolIndex pass learns `items` from the
+// member declaration below (same virtual file stem).
+#include <unordered_map>
+
+namespace fixture {
+
+struct Host {
+  std::unordered_map<int, double> items;
+};
+
+inline double sum(const Host& h) {
+  double total = 0.0;
+  for (const auto& [key, value] : h.items) total += value;
+  return total;
+}
+
+inline int first_key(Host& h) {
+  auto it = h.items.begin();
+  return it == h.items.end() ? -1 : it->first;
+}
+
+}  // namespace fixture

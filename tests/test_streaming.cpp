@@ -35,11 +35,11 @@ struct StreamCase {
 constexpr StreamCase kGolden[] = {
     {"default", 0xf87d77ec968fee23ull},
     {"freyr", 0xb9ecae76596e2c0eull},
-    {"libra", 0xac77ca122e58b2c2ull},
-    {"libra_trust", 0x237fec999743e68dull},
+    {"libra", 0xbdec2ebdc6363975ull},
+    {"libra_trust", 0x7892a708f69cac46ull},
     {"sched_rr", 0x59f634a72cbb53b6ull},
-    {"sched_jsq", 0x919322664ea5b59eull},
-    {"sched_mws", 0x92c87c8b746a9682ull},
+    {"sched_jsq", 0x9369a98c5da485c1ull},
+    {"sched_mws", 0x4904b0ebd4f07e4aull},
 };
 
 std::shared_ptr<const sim::FunctionCatalog> catalog() {

@@ -1,0 +1,144 @@
+#include "lexer.h"
+
+#include <cctype>
+
+namespace libra::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+LexResult lex(const std::string& content) {
+  LexResult out;
+  const size_t n = content.size();
+  size_t i = 0;
+  int line = 1;
+  bool in_pp = false;        // inside a preprocessor directive line
+  bool line_has_token = false;  // anything non-whitespace seen on this line
+
+  while (i < n) {
+    const char c = content[i];
+    if (c == '\n') {
+      // A backslash-newline continues a preprocessor directive.
+      if (in_pp && i > 0 && content[i - 1] == '\\') {
+        ++line;
+      } else {
+        in_pp = false;
+        ++line;
+        line_has_token = false;
+      }
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '/' && i + 1 < n && content[i + 1] == '/') {
+      const size_t start = i;
+      const int start_line = line;
+      while (i < n && content[i] != '\n') ++i;
+      out.comments.push_back({content.substr(start, i - start), start_line});
+      continue;
+    }
+    if (c == '/' && i + 1 < n && content[i + 1] == '*') {
+      const size_t start = i;
+      const int start_line = line;
+      i += 2;
+      while (i + 1 < n && !(content[i] == '*' && content[i + 1] == '/')) {
+        if (content[i] == '\n') ++line;
+        ++i;
+      }
+      i = (i + 1 < n) ? i + 2 : n;
+      out.comments.push_back({content.substr(start, i - start), start_line});
+      continue;
+    }
+    // Preprocessor directive start.
+    if (c == '#' && !line_has_token) {
+      in_pp = true;
+      out.tokens.push_back({TokKind::kPunct, "#", line, true});
+      line_has_token = true;
+      ++i;
+      continue;
+    }
+    line_has_token = true;
+    // Raw string literal: R"delim( ... )delim"
+    if (c == 'R' && i + 1 < n && content[i + 1] == '"') {
+      size_t j = i + 2;
+      std::string delim;
+      while (j < n && content[j] != '(') delim += content[j++];
+      const std::string closer = ")" + delim + "\"";
+      size_t end = content.find(closer, j);
+      const int start_line = line;
+      if (end == std::string::npos) end = n;
+      else end += closer.size();
+      for (size_t k = i; k < end && k < n; ++k)
+        if (content[k] == '\n') ++line;
+      out.tokens.push_back({TokKind::kString, "<raw>", start_line, in_pp});
+      i = end;
+      continue;
+    }
+    // String / char literals.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      ++i;
+      while (i < n && content[i] != quote) {
+        if (content[i] == '\\' && i + 1 < n) ++i;
+        if (content[i] == '\n') ++line;  // unterminated; be forgiving
+        ++i;
+      }
+      if (i < n) ++i;  // closing quote
+      out.tokens.push_back({quote == '"' ? TokKind::kString : TokKind::kChar,
+                            "<lit>", line, in_pp});
+      continue;
+    }
+    // Identifiers / keywords.
+    if (ident_start(c)) {
+      const size_t start = i;
+      while (i < n && ident_char(content[i])) ++i;
+      out.tokens.push_back(
+          {TokKind::kIdent, content.substr(start, i - start), line, in_pp});
+      continue;
+    }
+    // Numbers (incl. floating literals; good enough: digits, dots, exponents,
+    // hex, digit separators).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(content[i + 1])))) {
+      const size_t start = i;
+      while (i < n && (ident_char(content[i]) || content[i] == '.' ||
+                       content[i] == '\'' ||
+                       ((content[i] == '+' || content[i] == '-') && i > start &&
+                        (content[i - 1] == 'e' || content[i - 1] == 'E' ||
+                         content[i - 1] == 'p' || content[i - 1] == 'P'))))
+        ++i;
+      out.tokens.push_back(
+          {TokKind::kNumber, content.substr(start, i - start), line, in_pp});
+      continue;
+    }
+    // Fused punctuation the checks rely on.
+    if (c == ':' && i + 1 < n && content[i + 1] == ':') {
+      out.tokens.push_back({TokKind::kPunct, "::", line, in_pp});
+      i += 2;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && content[i + 1] == '>') {
+      out.tokens.push_back({TokKind::kPunct, "->", line, in_pp});
+      i += 2;
+      continue;
+    }
+    out.tokens.push_back({TokKind::kPunct, std::string(1, c), line, in_pp});
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace libra::lint

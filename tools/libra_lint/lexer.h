@@ -1,0 +1,36 @@
+// Minimal C++ tokenizer for the lexical backend: identifiers, numbers,
+// punctuation, with comments and string/char literals stripped (comments are
+// collected separately for suppression parsing). Handles line ("//") and
+// block ("/* */") comments, raw strings (R"delim(...)delim"), and escaped
+// quotes. `::` and `->` are fused into single tokens; everything else is
+// single-character punctuation. Preprocessor lines are tokenized too, with
+// the in_preprocessor flag set, so checks can ignore macro definitions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace libra::lint {
+
+enum class TokKind { kIdent, kNumber, kPunct, kString, kChar };
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;
+  int line = 1;
+  bool in_preprocessor = false;
+};
+
+struct Comment {
+  std::string text;
+  int line = 1;  // line the comment starts on
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+LexResult lex(const std::string& content);
+
+}  // namespace libra::lint

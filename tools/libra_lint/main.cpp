@@ -1,0 +1,219 @@
+// libra-lint CLI. Typical use:
+//
+//   libra-lint -p build                 # lint every src/ TU in the compile DB
+//   libra-lint --json findings.json -p build
+//   libra-lint --checks bare-assert,unordered-iteration src/sim/engine.cpp
+//
+// Exit codes: 0 clean (all findings suppressed or none), 1 unsuppressed
+// findings, 2 usage/environment error. The lexical backend is always
+// available; --backend ast requires a build with LLVM/Clang dev packages
+// (LIBRA_LINT_HAVE_CLANG) and falls back with an error otherwise.
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace {
+
+void usage() {
+  std::cerr <<
+      "usage: libra-lint [options] [files...]\n"
+      "  -p <dir>            read <dir>/compile_commands.json\n"
+      "  --compile-db <file> explicit compile_commands.json path\n"
+      "  --src-root <dir>    recursively lint every .h/.cpp under <dir>\n"
+      "  --json <file>       write the JSON findings artifact\n"
+      "  --checks a,b,...    run only the named checks\n"
+      "  --backend lexical|ast  analysis backend (default: ast when built\n"
+      "                         with clang support, else lexical)\n"
+      "  --list-checks       print check names and exit\n"
+      "  -q                  suppress per-finding text output\n";
+}
+
+bool is_cpp_source(const std::filesystem::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc";
+}
+
+/// Recursively collects sources under `root`, sorted for determinism.
+std::vector<std::string> collect_sources(const std::string& root) {
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (std::filesystem::recursive_directory_iterator it(root, ec), end;
+       !ec && it != end; it.increment(ec)) {
+    if (it->is_regular_file(ec) && is_cpp_source(it->path()))
+      out.push_back(it->path().string());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// The compile DB only lists TUs; the lexical backend also needs the headers
+/// (guarded-by members live there). Adds every header in the directories of
+/// the DB's src/ files.
+void add_sibling_headers(std::vector<std::string>* files) {
+  std::set<std::string> dirs;
+  for (const auto& f : *files) {
+    if (libra::lint::in_src(libra::lint::rule_path_of(f)))
+      dirs.insert(std::filesystem::path(f).parent_path().string());
+  }
+  std::set<std::string> seen(files->begin(), files->end());
+  for (const auto& dir : dirs) {
+    std::error_code ec;
+    std::vector<std::string> headers;
+    for (std::filesystem::directory_iterator it(dir, ec), end;
+         !ec && it != end; it.increment(ec)) {
+      const std::string ext = it->path().extension().string();
+      if (it->is_regular_file(ec) && (ext == ".h" || ext == ".hpp"))
+        headers.push_back(it->path().string());
+    }
+    std::sort(headers.begin(), headers.end());
+    for (const auto& h : headers)
+      if (seen.insert(h).second) files->push_back(h);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace libra::lint;
+  std::string db_path;
+  std::string src_root;
+  std::string json_path;
+  std::string backend;
+  bool quiet = false;
+  LintOptions opt;
+  std::vector<std::string> files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "libra-lint: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "-p") {
+      db_path = std::string(next()) + "/compile_commands.json";
+    } else if (arg == "--compile-db") {
+      db_path = next();
+    } else if (arg == "--src-root") {
+      src_root = next();
+    } else if (arg == "--json") {
+      json_path = next();
+    } else if (arg == "--backend") {
+      backend = next();
+    } else if (arg == "--checks") {
+      const std::string list = next();
+      size_t pos = 0;
+      while (pos <= list.size()) {
+        const size_t comma = list.find(',', pos);
+        const std::string name =
+            list.substr(pos, comma == std::string::npos ? std::string::npos
+                                                        : comma - pos);
+        if (!name.empty()) {
+          Check c;
+          if (!parse_check(name, &c)) {
+            std::cerr << "libra-lint: unknown check '" << name << "'\n";
+            return 2;
+          }
+          opt.checks.push_back(c);
+        }
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+    } else if (arg == "--list-checks") {
+      for (Check c : all_checks()) std::cout << check_name(c) << "\n";
+      return 0;
+    } else if (arg == "-q") {
+      quiet = true;
+    } else if (arg == "-h" || arg == "--help") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage();
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+
+  if (backend.empty()) {
+#ifdef LIBRA_LINT_HAVE_CLANG
+    backend = "ast";
+#else
+    backend = "lexical";
+#endif
+  }
+
+  try {
+    if (!db_path.empty()) {
+      const auto db_files = compile_db_files(db_path);
+      files.insert(files.end(), db_files.begin(), db_files.end());
+      add_sibling_headers(&files);
+    }
+    if (!src_root.empty()) {
+      const auto tree = collect_sources(src_root);
+      files.insert(files.end(), tree.begin(), tree.end());
+    }
+    if (files.empty()) {
+      std::cerr << "libra-lint: no input files (use -p <build-dir>, "
+                   "--src-root <dir>, or list files)\n";
+      return 2;
+    }
+
+    RunResult result;
+    if (backend == "ast") {
+#ifdef LIBRA_LINT_HAVE_CLANG
+      std::string error;
+      if (!run_ast_backend(db_path, files, opt, &result, &error)) {
+        std::cerr << "libra-lint: ast backend failed: " << error << "\n";
+        return 2;
+      }
+#else
+      std::cerr << "libra-lint: built without clang support (LLVM dev "
+                   "packages were absent at configure time); use --backend "
+                   "lexical\n";
+      return 2;
+#endif
+    } else if (backend == "lexical") {
+      result = run_lexical(files, opt);
+    } else {
+      std::cerr << "libra-lint: unknown backend '" << backend << "'\n";
+      return 2;
+    }
+
+    long suppressed = 0;
+    for (const auto& f : result.findings) {
+      if (f.suppressed) {
+        ++suppressed;
+        continue;
+      }
+      if (!quiet)
+        std::cerr << f.file << ":" << f.line << ": [" << check_name(f.check)
+                  << "] " << f.message << "\n";
+    }
+    if (!json_path.empty()) {
+      std::ofstream out(json_path);
+      if (!out) {
+        std::cerr << "libra-lint: cannot write " << json_path << "\n";
+        return 2;
+      }
+      out << findings_to_json(result, backend);
+    }
+    std::cerr << "libra-lint (" << backend << "): " << result.files_scanned
+              << " files, " << result.unsuppressed << " unsuppressed finding"
+              << (result.unsuppressed == 1 ? "" : "s") << ", " << suppressed
+              << " suppressed\n";
+    return result.unsuppressed > 0 ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::cerr << "libra-lint: " << e.what() << "\n";
+    return 2;
+  }
+}
