@@ -56,6 +56,11 @@ class HarvestResourcePool {
     /// expiry covers this deadline — revoking memory mid-run is what causes
     /// OOMs, so Libra filters by the borrower's predicted finish time.
     sim::SimTime mem_expiry_floor = -1.0;
+    /// Tenant (priority class) the borrower belongs to. When a quota is
+    /// registered for it (set_tenant_quota), the grant is clamped so the
+    /// tenant's concurrently outstanding borrowed volume never exceeds the
+    /// quota — per axis, audited after every mutation.
+    int tenant = 0;
   };
 
   /// Both Fig. 10 idle-time integrals read under ONE lock acquisition. The
@@ -137,10 +142,13 @@ class HarvestResourcePool {
     sim::InvocationId borrower = 0;
     sim::Resources amount;
     sim::SimTime est_expiry = 0.0;
+    int tenant = 0;
   };
   struct DebugState {
     std::vector<DebugEntry> entries;
     std::vector<DebugBorrow> borrows;
+    /// Registered per-tenant caps (empty when quotas are unused).
+    std::map<int, sim::Resources> tenant_quotas;
     double idle_cpu_secs = 0.0;
     double idle_mem_secs = 0.0;
     sim::SimTime last_accrual = 0.0;
@@ -166,11 +174,31 @@ class HarvestResourcePool {
   void set_node_hint(sim::NodeId node) { node_hint_ = node; }
   sim::NodeId node_hint() const { return node_hint_; }
 
+  /// Registers (or replaces) a hard cap on `tenant`'s concurrently borrowed
+  /// volume from this pool. Enforced at get() time and audited after every
+  /// mutation; tenants without a registered quota are unrestricted. Quota
+  /// room is derived from the live borrow records, so reharvest /
+  /// preempt_source / preempt_all free it automatically.
+  void set_tenant_quota(int tenant, const sim::Resources& cap)
+      LIBRA_EXCLUDES(mu_);
+
+  /// Volume currently borrowed by `tenant` (sum over its borrow records).
+  sim::Resources tenant_outstanding(int tenant) const LIBRA_EXCLUDES(mu_);
+
   /// TEST-ONLY fault injection: adds `delta` idle volume to `source` without
   /// recording it as harvested, deliberately breaking conservation so the
   /// negative tests can prove the auditor fires. Never call outside tests.
   void corrupt_for_audit_test(sim::InvocationId source,
                               const sim::Resources& delta) LIBRA_EXCLUDES(mu_);
+
+  /// TEST-ONLY fault injection: fabricates an over-quota borrow record for
+  /// `tenant` (bumping the source's harvested ledger in lockstep, so
+  /// conservation still holds and the per-tenant quota audit is the check
+  /// that fires). Never call outside tests.
+  void corrupt_tenant_for_audit_test(sim::InvocationId source,
+                                     sim::InvocationId borrower, int tenant,
+                                     const sim::Resources& delta)
+      LIBRA_EXCLUDES(mu_);
 
  private:
   struct Entry {
@@ -185,6 +213,7 @@ class HarvestResourcePool {
     sim::InvocationId borrower = 0;
     sim::Resources amount;
     sim::SimTime est_expiry = 0.0;
+    int tenant = 0;
   };
 
   void accrue_idle_locked(sim::SimTime now) const LIBRA_REQUIRES(mu_);
@@ -194,9 +223,15 @@ class HarvestResourcePool {
   void notify(PoolOp op, sim::InvocationId subject, sim::SimTime now) const
       LIBRA_EXCLUDES(mu_);
 
+  /// Borrowed volume currently outstanding for `tenant`, from borrows_.
+  sim::Resources tenant_outstanding_locked(int tenant) const
+      LIBRA_REQUIRES(mu_);
+
   mutable util::Mutex mu_;
   std::map<sim::InvocationId, Entry> entries_ LIBRA_GUARDED_BY(mu_);
   std::vector<BorrowRecord> borrows_ LIBRA_GUARDED_BY(mu_);
+  /// Per-tenant caps on concurrently borrowed volume (empty = no quotas).
+  std::map<int, sim::Resources> tenant_quotas_ LIBRA_GUARDED_BY(mu_);
   mutable double idle_cpu_secs_ LIBRA_GUARDED_BY(mu_) = 0.0;
   mutable double idle_mem_secs_ LIBRA_GUARDED_BY(mu_) = 0.0;
   mutable sim::SimTime last_accrual_ LIBRA_GUARDED_BY(mu_) = 0.0;

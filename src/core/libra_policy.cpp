@@ -65,8 +65,16 @@ HarvestResourcePool& LibraPolicy::pool_for(NodeId node) {
     it->second.set_node_hint(node);
     if (pool_listener_ != nullptr)
       it->second.set_event_listener(pool_listener_);
+    for (const auto& [tenant, cap] : cfg_.tenant_quotas)
+      it->second.set_tenant_quota(tenant, cap);
   }
   return it->second;
+}
+
+void LibraPolicy::set_tenant_quota(int tenant, const sim::Resources& cap) {
+  cfg_.tenant_quotas[tenant] = cap;
+  // LIBRA_LINT_ALLOW(unordered-iteration): order-insensitive broadcast — every pool gets the same cap
+  for (auto& [node, pool] : pools_) pool.set_tenant_quota(tenant, cap);
 }
 
 void LibraPolicy::set_pool_listener(PoolEventListener* listener) {
@@ -227,6 +235,7 @@ AllocationPlan LibraPolicy::plan_allocation(Invocation& inv, EngineApi& api) {
   if (!extra.is_zero()) {
     HarvestResourcePool::GetOptions opt;
     opt.timeliness_order = cfg_.timeliness_aware_pool;
+    opt.tenant = inv.tenant;
     if (cfg_.mem_expiry_filter && extra.mem > 0) {
       const double window = predicted_exec_time(
           inv, Resources::max(inv.user_alloc, inv.pred_demand), api);
@@ -290,6 +299,7 @@ void LibraPolicy::backfill_node(sim::NodeId node, EngineApi& api) {
     }
     HarvestResourcePool::GetOptions opt;
     opt.timeliness_order = cfg_.timeliness_aware_pool;
+    opt.tenant = inv.tenant;
     if (cfg_.mem_expiry_filter && gap.mem > 0)
       opt.mem_expiry_floor = api.now() + inv.pred_duration;
     const auto grants = pool.get(gap, inv.id, api.now(), opt);
@@ -508,6 +518,39 @@ void LibraPolicy::on_node_up(NodeId node, EngineApi& api) {
   last_seen_now_ = api.now();
   // The node rejoins with an empty pool; drop the pre-crash snapshot so the
   // first post-recovery ping advertises reality, not ghost inventory.
+  snapshots_[node] = PoolStatus{};
+}
+
+void LibraPolicy::on_drain_notice(NodeId node, sim::SimTime deadline,
+                                  EngineApi& api) {
+  last_seen_now_ = api.now();
+  (void)deadline;
+  if (!cfg_.honor_drain_notice) return;
+  // Graceful harvest pull-back (§5.1 timeliness under spot reclamation): the
+  // node announced its departure, so every idle entry leaves the pool and
+  // every outstanding grant is revoked from its still-running borrower
+  // BEFORE the engine drain-migrates the node's invocations. Same
+  // reconciliation as on_node_down — minus the node actually being dead.
+  auto& pool = pool_for(node);
+  const auto revocations = pool.preempt_all(api.now());
+  for (const auto& rev : revocations) {
+    ++stats_.pool_revocations;
+    if (!api.invocation_alive(rev.borrower)) continue;
+    Invocation& borrower = api.invocation(rev.borrower);
+    api.sync_accounting(borrower.id);
+    borrower.borrowed_in =
+        (borrower.borrowed_in - rev.amount).clamped_non_negative();
+    if (borrower.node != node) {
+      // Co-located borrowers are about to be drain-migrated (their teardown
+      // resets effective); only a foreign borrower needs the real revoke.
+      api.update_effective(
+          borrower.id, (borrower.effective - rev.amount).clamped_non_negative());
+    }
+  }
+  backfill_candidates_.erase(node);
+  // Unlike a crash — where the controller's snapshot deliberately goes stale
+  // until pings catch up — the notice is platform-delivered, so stop
+  // advertising inventory from the departing node immediately.
   snapshots_[node] = PoolStatus{};
 }
 

@@ -12,6 +12,7 @@
 //               safeguard corrects only the *next* invocation (§9)
 #pragma once
 
+#include <map>
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
@@ -67,6 +68,16 @@ struct LibraPolicyConfig {
   ///    tracking the p95 relative under-prediction of the live model.
   bool trust_enabled = false;
   TrustConfig trust;
+  /// Per-tenant caps on concurrently borrowed pool volume, applied to every
+  /// per-node pool at creation (enforced by HarvestResourcePool::get and
+  /// audited after every pool mutation). Empty = no quotas, single-tenant
+  /// behaviour unchanged.
+  std::map<int, sim::Resources> tenant_quotas;
+  /// React to spot drain notices (Policy::on_drain_notice) by preemptively
+  /// pulling the departing node's pool inventory back. False models a
+  /// platform without the hook: it keeps lending from the doomed pool until
+  /// the crash lands and loses it (the negative scenario-matrix tests).
+  bool honor_drain_notice = true;
 };
 
 class LibraPolicy final : public sim::Policy, public PoolStatusProvider {
@@ -94,6 +105,8 @@ class LibraPolicy final : public sim::Policy, public PoolStatusProvider {
   void on_health_ping(sim::NodeId node, sim::EngineApi& api) override;
   void on_node_down(sim::NodeId node, sim::EngineApi& api) override;
   void on_node_up(sim::NodeId node, sim::EngineApi& api) override;
+  void on_drain_notice(sim::NodeId node, sim::SimTime deadline,
+                       sim::EngineApi& api) override;
   sim::PolicyStats stats() const override;
 
   // PoolStatusProvider: piggybacked (possibly stale) snapshot.
@@ -102,6 +115,11 @@ class LibraPolicy final : public sim::Policy, public PoolStatusProvider {
   /// Direct pool access for tests and white-box benches.
   HarvestResourcePool& pool(sim::NodeId node) { return pool_for(node); }
   const LibraPolicyConfig& config() const { return cfg_; }
+
+  /// Registers (or replaces) a per-tenant borrow cap after construction,
+  /// propagating it to every already-created pool. Call before the run (the
+  /// chaos oracle configures quotas on make_platform-built policies here).
+  void set_tenant_quota(int tenant, const sim::Resources& cap);
   DemandPredictor& predictor() { return *predictor_; }
   /// Trust circuit breaker; nullptr when cfg.trust_enabled is false. The
   /// invariant auditor uses it to check that no pool entry is sourced from a

@@ -1,0 +1,34 @@
+// ScenarioFuzzer: from a single 64-bit seed, an endless deterministic stream
+// of random-but-valid adversarial scenarios — heterogeneous node classes,
+// spot outages with drain notices, ping/cold-start/monitor blackout windows,
+// misprediction storms, probabilistic churn profiles, and multi-tenant quota
+// assignments. Validity is by construction AND asserted through the existing
+// validate() predicates (Scenario::validate throws on any generator bug), so
+// every emitted scenario is a legal input to the differential oracle.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/chaos/scenario.h"
+#include "util/rng.h"
+
+namespace libra::chaos {
+
+class ScenarioFuzzer {
+ public:
+  explicit ScenarioFuzzer(uint64_t seed) : base_(seed) {}
+
+  /// The i-th call returns the same scenario for the same constructor seed
+  /// (each draw forks an independent sub-stream, so scenarios are stable
+  /// under reordering of internal draws within one iteration).
+  Scenario next();
+
+  /// Iterations generated so far.
+  uint64_t iterations() const { return iter_; }
+
+ private:
+  util::Rng base_;
+  uint64_t iter_ = 0;
+};
+
+}  // namespace libra::chaos

@@ -1,0 +1,25 @@
+// Compact text serialization of chaos scenarios: the shrinker writes a
+// minimal failing scenario as a repro artifact, and `libra_fuzz --replay`
+// reloads it bit-identically (doubles round-trip via %.17g, infinities
+// serialize as "inf" — std::strtod parses both). The format is line/token
+// based and versioned so future fields can extend it without breaking old
+// artifacts.
+#pragma once
+
+#include <string>
+
+#include "sim/chaos/scenario.h"
+
+namespace libra::chaos {
+
+/// Serializes `sc` as a "libra-chaos-repro v1" text block. The result is a
+/// pure function of the scenario: serialize(parse(serialize(sc))) ==
+/// serialize(sc) (round-trip asserted by tests/test_chaos_fuzz.cpp).
+std::string serialize_scenario(const Scenario& sc);
+
+/// Parses a v1 repro block. Throws std::invalid_argument naming the
+/// offending line on malformed input; the returned scenario is additionally
+/// passed through Scenario::validate().
+Scenario parse_scenario(const std::string& text);
+
+}  // namespace libra::chaos

@@ -1,0 +1,155 @@
+#include "sim/chaos/shrinker.h"
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/chaos/oracle.h"
+
+namespace libra::chaos {
+
+namespace {
+
+/// True when anything in the plan targets node `node` specifically
+/// (kAllNodes entries survive node removal unchanged).
+bool plan_references_node(const sim::fault::FaultPlan& plan, sim::NodeId node) {
+  for (const auto& o : plan.outages)
+    if (o.node == node) return true;
+  for (const auto* windows :
+       {&plan.ping_blackouts, &plan.cold_start_failures,
+        &plan.monitor_blackouts})
+    for (const auto& w : *windows)
+      if (w.node == node) return true;
+  return false;
+}
+
+/// All one-step reductions of `sc`, cheapest-to-verify structure drops first.
+std::vector<Scenario> candidates(const Scenario& sc) {
+  std::vector<Scenario> out;
+  auto push = [&out](Scenario next) { out.push_back(std::move(next)); };
+
+  for (size_t i = 0; i < sc.plan.outages.size(); ++i) {
+    Scenario next = sc;
+    next.plan.outages.erase(next.plan.outages.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+    push(std::move(next));
+  }
+  for (size_t i = 0; i < sc.plan.ping_blackouts.size(); ++i) {
+    Scenario next = sc;
+    next.plan.ping_blackouts.erase(next.plan.ping_blackouts.begin() +
+                                   static_cast<std::ptrdiff_t>(i));
+    push(std::move(next));
+  }
+  for (size_t i = 0; i < sc.plan.cold_start_failures.size(); ++i) {
+    Scenario next = sc;
+    next.plan.cold_start_failures.erase(next.plan.cold_start_failures.begin() +
+                                        static_cast<std::ptrdiff_t>(i));
+    push(std::move(next));
+  }
+  for (size_t i = 0; i < sc.plan.monitor_blackouts.size(); ++i) {
+    Scenario next = sc;
+    next.plan.monitor_blackouts.erase(next.plan.monitor_blackouts.begin() +
+                                      static_cast<std::ptrdiff_t>(i));
+    push(std::move(next));
+  }
+  for (size_t i = 0; i < sc.plan.prediction_faults.size(); ++i) {
+    Scenario next = sc;
+    next.plan.prediction_faults.erase(next.plan.prediction_faults.begin() +
+                                      static_cast<std::ptrdiff_t>(i));
+    push(std::move(next));
+  }
+  if (sc.profile.active()) {
+    Scenario next = sc;
+    next.profile = sim::fault::FaultProfile{};
+    next.profile.seed = sc.profile.seed;
+    push(std::move(next));
+  }
+  if (sc.spot_drain_notice > 0.0) {
+    Scenario next = sc;
+    next.spot_drain_notice = 0.0;
+    push(std::move(next));
+  }
+  if (sc.num_tenants > 1 || !sc.tenant_quotas.empty()) {
+    Scenario next = sc;
+    next.num_tenants = 1;
+    next.tenant_quotas.clear();
+    push(std::move(next));
+  }
+  if (sc.gen.duration > 10.0) {
+    Scenario next = sc;
+    next.gen.duration = sc.gen.duration / 2.0;
+    // Keep every scripted fault inside the shortened run so the candidate is
+    // a strictly smaller version of the same scenario, not a different one.
+    bool in_range = true;
+    for (const auto& o : next.plan.outages)
+      in_range = in_range && o.down_at <= next.gen.duration;
+    if (in_range) push(std::move(next));
+  }
+  if (sc.gen.rpm > 120.0) {
+    Scenario next = sc;
+    next.gen.rpm = sc.gen.rpm / 2.0;
+    push(std::move(next));
+  }
+  if (sc.gen.functions > 2) {
+    Scenario next = sc;
+    next.gen.functions = sc.gen.functions / 2;
+    bool in_range = true;
+    for (const auto& p : next.plan.prediction_faults)
+      in_range = in_range && p.func < next.gen.functions;
+    if (in_range) push(std::move(next));
+  }
+  if (sc.gen.burst_episodes_per_min > 0.0) {
+    Scenario next = sc;
+    next.gen.burst_episodes_per_min = 0.0;
+    push(std::move(next));
+  }
+  if (sc.gen.diurnal_amplitude > 0.0) {
+    Scenario next = sc;
+    next.gen.diurnal_amplitude = 0.0;
+    push(std::move(next));
+  }
+  if (sc.node_capacities.size() > 1) {
+    const auto last =
+        static_cast<sim::NodeId>(sc.node_capacities.size() - 1);
+    if (!plan_references_node(sc.plan, last)) {
+      Scenario next = sc;
+      next.node_capacities.pop_back();
+      push(std::move(next));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ShrinkResult shrink_scenario(const Scenario& sc, const Verdict& failure,
+                             int max_rounds) {
+  if (failure.ok)
+    throw std::invalid_argument(
+        "chaos::shrink_scenario: verdict is ok, nothing to shrink");
+  ShrinkResult res;
+  res.scenario = sc;
+  res.verdict = failure;
+  for (int round = 0; round < max_rounds; ++round) {
+    ++res.rounds;
+    bool improved = false;
+    for (Scenario& next : candidates(res.scenario)) {
+      try {
+        next.validate();
+      } catch (const std::invalid_argument&) {
+        continue;  // reduction broke a structural constraint; skip it
+      }
+      const Verdict v = check_scenario(next);
+      if (v.ok || v.failure != failure.failure) continue;
+      res.scenario = std::move(next);
+      res.verdict = v;
+      ++res.accepted;
+      improved = true;
+      break;  // greedy: restart candidate generation from the smaller repro
+    }
+    if (!improved) break;
+  }
+  return res;
+}
+
+}  // namespace libra::chaos

@@ -1,0 +1,26 @@
+// Greedy scenario shrinker: given a failing scenario and its verdict,
+// repeatedly tries structure-removing mutations (drop one outage / blackout
+// window / storm segment, zero the churn profile, halve the trace, drop the
+// last node, collapse tenancy) and keeps any candidate that still fails with
+// the SAME failure class. The result is the minimal repro the fuzz driver
+// serializes as an artifact.
+#pragma once
+
+#include "sim/chaos/scenario.h"
+
+namespace libra::chaos {
+
+struct ShrinkResult {
+  Scenario scenario;
+  Verdict verdict;   // the (same-class) verdict of the shrunken scenario
+  int rounds = 0;    // greedy passes executed
+  int accepted = 0;  // mutations that kept the failure alive
+};
+
+/// Shrinks `sc`, whose check_scenario() verdict is `failure` (must not be
+/// ok). Each round re-runs the oracle once per candidate, so cost is
+/// O(rounds * candidates * check); max_rounds bounds it.
+ShrinkResult shrink_scenario(const Scenario& sc, const Verdict& failure,
+                             int max_rounds = 8);
+
+}  // namespace libra::chaos

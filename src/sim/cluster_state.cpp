@@ -17,6 +17,7 @@ ClusterState::ClusterState(EngineHost& host) : host_(host) {
                         cfg.num_shards, cfg.container);
     host_.metrics().total_capacity += cfg.node_capacities[i];
   }
+  draining_until_.assign(nodes_.size(), 0.0);
 }
 
 std::vector<InvocationId> ClusterState::placed_invocations() const {
@@ -109,6 +110,36 @@ void ClusterState::on_node_down(NodeId node_id) {
   n.check_quiescent();
   record_series();
   host_.notify_audit("node_down", kNoInvocation, node_id);
+}
+
+void ClusterState::on_drain_notice(NodeId node_id, SimTime down_at) {
+  Node& n = node(node_id);
+  // A merged churn timeline can put an unrelated crash before the spot
+  // outage this notice warned about; a dead node has nothing left to drain.
+  if (!n.up()) return;
+  ++host_.metrics().drain_notices;
+  draining_until_[static_cast<size_t>(node_id)] = down_at;
+  // Policy first (harvest-safety invariant, mirroring on_node_down): a
+  // platform honoring the notice pulls the node's pool inventory back while
+  // every source/borrower invocation is still intact.
+  host_.policy().on_drain_notice(node_id, down_at, host_.api());
+  // The node agent then migrates everything off the departing node. These
+  // are graceful, budget-free evictions: the platform was warned, so they do
+  // not consume max_fault_retries (see InvocationLifecycle::drain_invocation).
+  std::vector<InvocationId> victims;
+  // LIBRA_LINT_ALLOW(unordered-iteration): collects ids into a vector that is sorted before use
+  for (const InvocationId id : placed_)
+    if (host_.invocation(id).node == node_id) victims.push_back(id);
+  std::sort(victims.begin(), victims.end());  // set order is not deterministic
+  for (InvocationId id : victims) host_.lifecycle().drain_invocation(id);
+  record_series();
+  host_.notify_audit("drain_notice", kNoInvocation, node_id);
+}
+
+bool ClusterState::node_draining(NodeId id) const {
+  const auto idx = static_cast<size_t>(id);
+  return idx < draining_until_.size() &&
+         host_.queue().now() < draining_until_[idx];
 }
 
 void ClusterState::on_node_up(NodeId node_id) {

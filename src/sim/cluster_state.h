@@ -44,6 +44,15 @@ class ClusterState {
   void on_node_down(NodeId node_id);
   void on_node_up(NodeId node_id);
 
+  /// Spot reclamation warning: the node will crash at `down_at`. Fires
+  /// Policy::on_drain_notice (graceful harvest pull-back), marks the node
+  /// draining until `down_at`, then drain-migrates every placed invocation
+  /// off it budget-free. No-op if the node is already down.
+  void on_drain_notice(NodeId node_id, SimTime down_at);
+  /// True while a delivered drain notice's crash deadline is still ahead;
+  /// the controller refuses to place new work on a draining node.
+  bool node_draining(NodeId id) const;
+
   // ---- Cluster-wide usage accounting ----
   /// Re-derives the invocation's contribution to the live usage sums.
   void refresh_usage(const Invocation& inv, bool stopping);
@@ -59,6 +68,10 @@ class ClusterState {
 
   std::vector<SimTime> last_ping_delivered_;  // controller health view
   std::vector<SimTime> down_since_;           // crash time per down node
+  /// Per node: the crash deadline of the last delivered drain notice. The
+  /// draining window closes by itself when the crash lands (deadline == the
+  /// outage's down_at), so no explicit clearing is needed.
+  std::vector<SimTime> draining_until_;
 
   /// Live invocations currently holding a node reservation; kept in lockstep
   /// with try_reserve/release so audits stay O(placed), not O(all ever run).

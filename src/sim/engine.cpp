@@ -13,38 +13,9 @@ namespace libra::sim {
 Engine::Engine(EngineConfig cfg, std::shared_ptr<Policy> policy)
     : cfg_(std::move(cfg)), policy_(std::move(policy)), exec_(cfg_.exec) {
   if (!policy_) throw std::invalid_argument("Engine: null policy");
-  if (cfg_.node_capacities.empty())
-    throw std::invalid_argument(
-        "Engine: node_capacities is empty — configure at least one worker");
-  if (cfg_.num_shards < 1)
-    throw std::invalid_argument("Engine: num_shards must be >= 1, got " +
-                                std::to_string(cfg_.num_shards));
-  for (size_t i = 0; i < cfg_.node_capacities.size(); ++i) {
-    const auto& cap = cfg_.node_capacities[i];
-    if (cap.cpu <= 0.0 || cap.mem <= 0.0)
-      throw std::invalid_argument("Engine: node " + std::to_string(i) +
-                                  " has non-positive capacity " +
-                                  cap.to_string());
-  }
-  if (cfg_.frontend_delay < 0 || cfg_.profiler_delay < 0 ||
-      cfg_.sched_decision_delay < 0 || cfg_.pool_op_delay < 0 ||
-      cfg_.oom_restart_penalty < 0)
-    throw std::invalid_argument("Engine: negative pipeline delay configured");
-  if (cfg_.monitor_interval <= 0 || cfg_.health_ping_interval <= 0)
-    throw std::invalid_argument(
-        "Engine: monitor_interval and health_ping_interval must be positive");
-  if (cfg_.sched_workers < 1)
-    throw std::invalid_argument("Engine: sched_workers must be >= 1, got " +
-                                std::to_string(cfg_.sched_workers));
-  if (cfg_.retry_backoff_base < 0 || cfg_.retry_backoff_cap < 0 ||
-      cfg_.max_fault_retries < 0 || cfg_.max_oom_retries < 0 ||
-      cfg_.placement_timeout <= 0 ||
-      cfg_.suspect_after_missed_pings <= 0 || cfg_.churn_horizon_pad < 0)
-    throw std::invalid_argument("Engine: invalid fault-recovery knobs");
-  if (cfg_.series_resolution < 0 || cfg_.admission_lookahead < 0)
-    throw std::invalid_argument("Engine: negative streaming knob");
-  cfg_.fault_plan.validate(cfg_.node_capacities.size());
-  cfg_.fault_profile.validate();
+  // Knob validity (including fault plan/profile) lives on EngineConfig so the
+  // scenario fuzzer can use the exact predicate the engine enforces.
+  cfg_.validate();
   // The private-base upcast must happen here, inside Engine, where the base
   // is accessible (make_unique would convert in an inaccessible context).
   EngineHost& host = *this;
@@ -75,15 +46,18 @@ void Engine::notify_audit(const char* what, InvocationId inv, NodeId node_id) {
 
 RunMetrics Engine::run(std::vector<Invocation> trace) {
   if (trace.empty()) return std::move(metrics_);
-  for (size_t i = 1; i < trace.size(); ++i) {
-    if (trace[i].arrival < trace[i - 1].arrival)
+  for (size_t i = 0; i < trace.size(); ++i) {
+    // `!(x >= 0)` instead of `x < 0`: a NaN arrival must be rejected here,
+    // not admitted into the event queue where it would poison the ordering.
+    if (!(trace[i].arrival >= 0.0))
+      throw std::invalid_argument(
+          "Engine: negative or NaN arrival time in trace");
+    if (i > 0 && trace[i].arrival < trace[i - 1].arrival)
       throw std::invalid_argument(
           "Engine: trace not sorted by arrival time (index " +
           std::to_string(i) + " arrives at " +
           std::to_string(trace[i].arrival) + " after " +
           std::to_string(trace[i - 1].arrival) + ")");
-    if (trace[i].arrival < 0.0)
-      throw std::invalid_argument("Engine: negative arrival time in trace");
   }
   total_ = trace.size();
   metrics_.first_arrival = std::numeric_limits<double>::infinity();
@@ -111,6 +85,7 @@ RunMetrics Engine::run(std::vector<Invocation> trace) {
     else
       queue_.schedule(ev.time, [this, nid] { cluster_->on_node_up(nid); });
   }
+  schedule_drain_notices();
   cluster_->start_health_pings(metrics_.first_arrival);
   queue_.run();
   return finish_run();
@@ -119,8 +94,9 @@ RunMetrics Engine::run(std::vector<Invocation> trace) {
 RunMetrics Engine::run(gen::TraceSource& source) {
   const auto first = source.peek_arrival();
   if (!first.has_value()) return std::move(metrics_);
-  if (*first < 0.0)
-    throw std::invalid_argument("Engine: negative arrival time in stream");
+  if (!(*first >= 0.0))
+    throw std::invalid_argument(
+        "Engine: negative or NaN arrival time in stream");
   source_done_ = false;
   recycle_active_ = cfg_.recycle_records;
   metrics_.first_arrival = *first;
@@ -137,6 +113,7 @@ RunMetrics Engine::run(gen::TraceSource& source) {
     else
       queue_.schedule(ev.time, [this, nid] { cluster_->on_node_up(nid); });
   }
+  schedule_drain_notices();
   cluster_->start_health_pings(metrics_.first_arrival);
   SimTime last_admitted = *first;
   for (;;) {
@@ -163,6 +140,18 @@ RunMetrics Engine::run(gen::TraceSource& source) {
     if (!pending_recycle_.empty()) drain_recycle();
   }
   return finish_run();
+}
+
+void Engine::schedule_drain_notices() {
+  if (cfg_.spot_drain_notice <= 0.0) return;
+  for (const auto& o : cfg_.fault_plan.outages) {
+    if (!o.spot) continue;
+    const NodeId nid = o.node;
+    const SimTime down_at = o.down_at;
+    const SimTime at = std::max(0.0, down_at - cfg_.spot_drain_notice);
+    queue_.schedule(at,
+                    [this, nid, down_at] { cluster_->on_drain_notice(nid, down_at); });
+  }
 }
 
 void Engine::admit_streamed(Invocation&& inv) {

@@ -109,6 +109,10 @@ class Engine final : public EngineApi, private EngineHost {
 
   void on_arrival(InvocationId id);
   void on_profiled(InvocationId id);
+  /// Spot reclamation warnings: for every `spot` outage in the fault plan,
+  /// schedules a cluster drain notice EngineConfig::spot_drain_notice seconds
+  /// before the scripted crash (no-op when the notice lead time is 0).
+  void schedule_drain_notices();
   /// Inserts one streamed invocation (reusing a free-listed map node when
   /// available) and schedules its arrival on the arrival lane.
   void admit_streamed(Invocation&& inv);

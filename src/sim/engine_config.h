@@ -44,6 +44,13 @@ struct EngineConfig {
   // ---- Fault injection & recovery (src/sim/fault) ----
   fault::FaultPlan fault_plan;        // scripted faults, replayed verbatim
   fault::FaultProfile fault_profile;  // seeded probabilistic faults
+  /// Spot/preemptible reclamation warning: outages flagged `spot` in the
+  /// fault plan deliver a drain notice this many seconds before `down_at`.
+  /// The notice fires Policy::on_drain_notice (letting a platform pull its
+  /// harvests back gracefully), marks the node draining (the controller
+  /// refuses new placements on it), and migrates every placed invocation off
+  /// budget-free. 0 = no notice: spot outages behave like plain crashes.
+  double spot_drain_notice = 0.0;
   /// Capped exponential backoff before re-dispatching an invocation killed
   /// by a node crash or a failed cold start: base * 2^attempt, <= cap.
   double retry_backoff_base = 0.1;
@@ -95,6 +102,13 @@ struct EngineConfig {
   /// Non-owning; nullptr disables the cross-layer checks (the pool-internal
   /// conservation audits still run).
   EngineAuditHook* audit_hook = nullptr;
+
+  /// Full configuration validity check: cluster shape, pipeline delays,
+  /// scheduling/fault/streaming knobs (all NaN-proof), plus
+  /// fault_plan.validate() and fault_profile.validate(). Throws
+  /// std::invalid_argument naming the offending knob. The Engine constructor
+  /// calls this; the scenario fuzzer uses it as its validity predicate.
+  void validate() const;
 };
 
 }  // namespace libra::sim

@@ -1,6 +1,7 @@
 #include "sim/fault/fault_injector.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <string>
 
@@ -8,39 +9,46 @@ namespace libra::sim::fault {
 
 namespace {
 
+// All comparisons below are written NaN-proof: `!(x >= 0.0)` rejects both
+// negatives and NaN, whereas the naive `x < 0.0` silently admits NaN (every
+// comparison against NaN is false). The fuzzer leans on these predicates as
+// its validity oracle, so a NaN that slips through here would surface as a
+// baffling downstream divergence instead of a crisp rejection.
+
 void check_window(const FaultWindow& w, size_t num_nodes, const char* what) {
   if (w.node != kAllNodes &&
       (w.node < 0 || static_cast<size_t>(w.node) >= num_nodes))
     throw std::invalid_argument(std::string("FaultPlan: ") + what +
                                 " targets unknown node " +
                                 std::to_string(w.node));
-  if (w.from < 0.0)
+  if (!std::isfinite(w.from) || !(w.from >= 0.0))
     throw std::invalid_argument(std::string("FaultPlan: ") + what +
-                                " starts before t=0");
-  if (w.until <= w.from)
+                                " start is NaN, infinite, or before t=0");
+  if (!(w.until > w.from))
     throw std::invalid_argument(std::string("FaultPlan: ") + what +
-                                " window is empty or inverted (from=" +
+                                " window is empty, inverted, or NaN (from=" +
                                 std::to_string(w.from) + ")");
 }
 
 void check_probability(double p, const char* what) {
-  if (p < 0.0 || p > 1.0)
+  if (!(p >= 0.0 && p <= 1.0))
     throw std::invalid_argument(std::string("FaultProfile: ") + what + " = " +
                                 std::to_string(p) + " outside [0, 1]");
 }
 
 }  // namespace
 
-void FaultPlan::validate(size_t num_nodes) const {
+void FaultPlan::validate(size_t num_nodes, int num_functions) const {
   for (const auto& o : outages) {
     if (o.node < 0 || static_cast<size_t>(o.node) >= num_nodes)
       throw std::invalid_argument("FaultPlan: outage targets unknown node " +
                                   std::to_string(o.node));
-    if (o.down_at < 0.0)
-      throw std::invalid_argument("FaultPlan: outage crashes before t=0");
-    if (o.up_at <= o.down_at)
+    if (!std::isfinite(o.down_at) || !(o.down_at >= 0.0))
       throw std::invalid_argument(
-          "FaultPlan: outage recovers at or before its crash (node " +
+          "FaultPlan: outage crash time is NaN, infinite, or before t=0");
+    if (!(o.up_at > o.down_at))
+      throw std::invalid_argument(
+          "FaultPlan: outage recovery is NaN or at/before its crash (node " +
           std::to_string(o.node) + ")");
   }
   for (const auto& w : ping_blackouts) check_window(w, num_nodes, "ping blackout");
@@ -49,35 +57,38 @@ void FaultPlan::validate(size_t num_nodes) const {
   for (const auto& w : monitor_blackouts)
     check_window(w, num_nodes, "monitor blackout");
   for (const auto& p : prediction_faults) {
-    if (p.func != kAllFunctions && p.func < 0)
+    if (p.func != kAllFunctions &&
+        (p.func < 0 || (num_functions > 0 && p.func >= num_functions)))
       throw std::invalid_argument(
           "FaultPlan: prediction fault targets invalid function " +
           std::to_string(p.func));
-    if (p.from < 0.0)
-      throw std::invalid_argument("FaultPlan: prediction fault starts before t=0");
-    if (p.until <= p.from)
+    if (!std::isfinite(p.from) || !(p.from >= 0.0))
       throw std::invalid_argument(
-          "FaultPlan: prediction fault window is empty or inverted (from=" +
+          "FaultPlan: prediction fault start is NaN, infinite, or before t=0");
+    if (!(p.until > p.from))
+      throw std::invalid_argument(
+          "FaultPlan: prediction fault window is empty, inverted, or NaN "
+          "(from=" +
           std::to_string(p.from) + ")");
     switch (p.kind) {
       case PredFaultKind::kBias:
-        if (p.severity <= 0.0)
+        if (!std::isfinite(p.severity) || !(p.severity > 0.0))
           throw std::invalid_argument(
-              "FaultPlan: bias severity must be positive, got " +
+              "FaultPlan: bias severity must be finite and positive, got " +
               std::to_string(p.severity));
         break;
       case PredFaultKind::kNoise:
-        if (p.severity < 0.0)
+        if (!std::isfinite(p.severity) || !(p.severity >= 0.0))
           throw std::invalid_argument(
-              "FaultPlan: noise sigma must be non-negative, got " +
+              "FaultPlan: noise sigma must be finite and non-negative, got " +
               std::to_string(p.severity));
         break;
       case PredFaultKind::kDrift:
-        if (p.severity <= 0.0)
+        if (!std::isfinite(p.severity) || !(p.severity > 0.0))
           throw std::invalid_argument(
-              "FaultPlan: drift severity must be positive, got " +
+              "FaultPlan: drift severity must be finite and positive, got " +
               std::to_string(p.severity));
-        if (p.until >= kNever)
+        if (!std::isfinite(p.until))
           throw std::invalid_argument(
               "FaultPlan: a drift ramps towards its window end and therefore "
               "needs a finite `until`");
@@ -94,15 +105,18 @@ void FaultProfile::validate() const {
   check_probability(ping_delay_prob, "ping_delay_prob");
   check_probability(cold_start_fail_prob, "cold_start_fail_prob");
   check_probability(monitor_skip_prob, "monitor_skip_prob");
-  if (node_mtbf < 0.0)
-    throw std::invalid_argument("FaultProfile: negative node_mtbf");
-  if (node_mtbf > 0.0 && node_mttr <= 0.0)
+  if (!std::isfinite(node_mtbf) || !(node_mtbf >= 0.0))
     throw std::invalid_argument(
-        "FaultProfile: node_mttr must be positive when churn is enabled");
-  if (ping_delay_prob > 0.0 && ping_delay_mean <= 0.0)
+        "FaultProfile: node_mtbf is NaN, infinite, or negative");
+  if (node_mtbf > 0.0 && (!std::isfinite(node_mttr) || !(node_mttr > 0.0)))
     throw std::invalid_argument(
-        "FaultProfile: ping_delay_mean must be positive when delays are "
+        "FaultProfile: node_mttr must be finite and positive when churn is "
         "enabled");
+  if (ping_delay_prob > 0.0 &&
+      (!std::isfinite(ping_delay_mean) || !(ping_delay_mean > 0.0)))
+    throw std::invalid_argument(
+        "FaultProfile: ping_delay_mean must be finite and positive when "
+        "delays are enabled");
 }
 
 FaultInjector::FaultInjector(FaultPlan plan, FaultProfile profile,

@@ -26,10 +26,17 @@ inline constexpr SimTime kNever = std::numeric_limits<double>::infinity();
 /// One scripted node outage: the node crashes at `down_at` (every invocation
 /// placed on it is killed, its warm containers and harvest pool die with it)
 /// and comes back empty at `up_at` (kNever = stays dead for the whole run).
+///
+/// A `spot` outage models preemptible-capacity reclamation: when
+/// EngineConfig::spot_drain_notice > 0 the cluster receives a drain notice
+/// that many seconds before `down_at` (Policy::on_drain_notice fires, then
+/// the node agent migrates every placed invocation off budget-free) instead
+/// of the crash arriving unannounced.
 struct NodeOutage {
   NodeId node = 0;
   SimTime down_at = 0.0;
   SimTime up_at = kNever;
+  bool spot = false;
 };
 
 /// Half-open time window [from, until) during which a fault class applies.
@@ -103,10 +110,13 @@ struct FaultPlan {
   }
 
   /// Throws std::invalid_argument (with the offending entry) on nodes outside
-  /// [0, num_nodes), negative timestamps, inverted outage/window bounds, or
-  /// nonsensical prediction faults (non-positive bias/drift severity,
-  /// negative noise sigma, a drift without a finite end).
-  void validate(size_t num_nodes) const;
+  /// [0, num_nodes), NaN or negative timestamps, inverted outage/window
+  /// bounds (`until <= from`, NaN-proof), or nonsensical prediction faults
+  /// (non-finite/non-positive bias/drift severity, negative noise sigma, a
+  /// drift without a finite end). When `num_functions > 0`, prediction
+  /// faults must also target a function inside [0, num_functions) — the
+  /// scenario fuzzer's validity predicate passes the catalog size here.
+  void validate(size_t num_nodes, int num_functions = 0) const;
 };
 
 }  // namespace libra::sim::fault

@@ -22,6 +22,10 @@ struct Invocation {
   FunctionId func = 0;
   InputSpec input;
   SimTime arrival = 0.0;
+  /// Multi-tenant priority class (scenario matrix): per-tenant harvest
+  /// quotas in HarvestResourcePool key off this. 0 (the default single
+  /// tenant) keeps every existing run byte-identical.
+  int tenant = 0;
 
   /// User-defined allocation (copied from the function at deployment).
   Resources user_alloc;

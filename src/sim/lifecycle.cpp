@@ -285,9 +285,8 @@ void InvocationLifecycle::handle_completion(InvocationId id,
   host_.notify_audit("completion", id, n.id());
 }
 
-void InvocationLifecycle::kill_invocation(InvocationId id) {
-  Invocation& inv = host_.invocation(id);
-  if (inv.done || inv.node == kNoNode) return;
+void InvocationLifecycle::teardown_placement(Invocation& inv,
+                                             bool release_container) {
   fold_progress(inv);
   ++inv.completion_generation;  // invalidates completion / OOM events
   ++inv.placement_epoch;        // invalidates a pending container start
@@ -302,10 +301,12 @@ void InvocationLifecycle::kill_invocation(InvocationId id) {
   host_.cluster().refresh_usage(inv, /*stopping=*/true);
   Node& n = host_.cluster().node(inv.node);
   if (inv.running) n.invocation_finished();
+  if (release_container) n.containers().release(inv.func, host_.queue().now());
   n.release(inv.shard, inv.user_alloc + inv.probe_extra);
-  host_.cluster().erase_placed(id);
-  // Whatever was harvested from / lent to it died with the node; the policy
-  // already reconciled its pool state in on_node_down.
+  host_.cluster().erase_placed(inv.id);
+  // Whatever was harvested from / lent to it is gone from its perspective;
+  // the policy already reconciled its pool state (on_node_down for a crash,
+  // on_drain_notice for a graceful drain).
   inv.running = false;
   inv.node = kNoNode;
   inv.progress = 0.0;
@@ -315,7 +316,29 @@ void InvocationLifecycle::kill_invocation(InvocationId id) {
   inv.probe_extra = Resources{};
   inv.effective = inv.user_alloc;
   host_.cluster().record_series();
+}
+
+void InvocationLifecycle::kill_invocation(InvocationId id) {
+  Invocation& inv = host_.invocation(id);
+  if (inv.done || inv.node == kNoNode) return;
+  // The node died with its whole container pool; nothing to release there.
+  teardown_placement(inv, /*release_container=*/false);
   retry_or_lose(inv, 0.0);
+}
+
+void InvocationLifecycle::drain_invocation(InvocationId id) {
+  Invocation& inv = host_.invocation(id);
+  // An invocation waiting out a retry backoff (node == kNoNode) holds
+  // nothing on the draining node; touching it here would double-count the
+  // drain against its fault-retry budget.
+  if (inv.done || inv.node == kNoNode) return;
+  teardown_placement(inv, /*release_container=*/true);
+  ++host_.metrics().drain_evictions;
+  // Budget-free requeue: no fault_retry_count increment, no backoff. The
+  // draining gate in commit_one keeps it off the doomed node.
+  const InvocationId iid = inv.id;
+  host_.queue().schedule_after(
+      0.0, [this, iid] { host_.controller().requeue_after_fault(iid); });
 }
 
 void InvocationLifecycle::retry_or_lose(Invocation& inv, double extra_delay) {

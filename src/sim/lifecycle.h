@@ -25,6 +25,13 @@ class InvocationLifecycle {
 
   /// Tears down one invocation on a crashing node and retries or loses it.
   void kill_invocation(InvocationId id);
+  /// Drain migration (spot reclamation): tears the invocation off a LIVE,
+  /// draining node and requeues it immediately, WITHOUT consuming the
+  /// fault-retry budget — the platform was warned, so the move is not a
+  /// failure. An invocation sitting out a retry backoff (node == kNoNode)
+  /// is untouched: it holds nothing on the node and must not be
+  /// double-counted against max_fault_retries.
+  void drain_invocation(InvocationId id);
   /// Schedules the post-kill retry, or loses the invocation when the retry
   /// budget is exhausted. `extra_delay` is added on top of the backoff.
   void retry_or_lose(Invocation& inv, double extra_delay);
@@ -43,6 +50,11 @@ class InvocationLifecycle {
  private:
   void schedule_progress_events(Invocation& inv);
   void fold_progress(Invocation& inv);
+  /// Shared crash/drain teardown: folds progress, disarms events, releases
+  /// the node reservation and resets the invocation to its pre-placement
+  /// resource state. Only the drain path releases the warm container — on a
+  /// crash the whole container pool dies with the node.
+  void teardown_placement(Invocation& inv, bool release_container);
   /// OOM graceful degradation: tears the invocation off its (live) node and
   /// re-dispatches it at full user allocation on the separate OOM budget.
   void redispatch_after_oom(Invocation& inv);

@@ -108,6 +108,12 @@ struct RunMetrics {
   std::vector<double> sched_overhead_seconds;
 
   // ---- Streaming counters (never part of the replay digest) ----
+  /// Spot drain notices delivered to the cluster (scenario matrix; outside
+  /// the digest so notice-free runs stay bit-identical to the goldens).
+  long drain_notices = 0;
+  /// Invocations migrated off a draining node (budget-free evictions — they
+  /// do NOT count against max_fault_retries or metrics.fault_retries).
+  long drain_evictions = 0;
   /// Scheduling decisions committed (speculated or serial).
   long sched_decisions = 0;
   /// Sum of wall-clock decision times, seconds (only measured when

@@ -208,6 +208,18 @@ class Policy {
     (void)api;
   }
 
+  /// Spot reclamation warning (scenario matrix): the node will crash at
+  /// `deadline` and the platform has until then to react. Called BEFORE the
+  /// engine drain-migrates the node's invocations, so a harvesting policy
+  /// can pull its pool inventory back gracefully — release every entry and
+  /// revoke every outstanding grant — instead of losing the pool when the
+  /// crash lands. The default no-op models a platform without the hook.
+  virtual void on_drain_notice(NodeId node, SimTime deadline, EngineApi& api) {
+    (void)node;
+    (void)deadline;
+    (void)api;
+  }
+
   virtual PolicyStats stats() const { return {}; }
 };
 

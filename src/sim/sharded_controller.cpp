@@ -213,6 +213,13 @@ void ShardedController::commit_one(InvocationId id,
     ++metrics.stale_snapshot_decisions;
     chosen = kNoNode;
   }
+  if (chosen != kNoNode && host_.cluster().node_draining(chosen)) {
+    // Spot drain in progress: the node announced its departure, so the
+    // controller refuses new placements on it and parks the invocation
+    // instead. Deliberately not counted as a stale-snapshot decision — that
+    // counter is part of the replay digest and drains must not perturb it.
+    chosen = kNoNode;
+  }
   if (chosen == kNoNode ||
       !host_.cluster().node(chosen).try_reserve(inv.shard, inv.user_alloc)) {
     ++inv.park_count;

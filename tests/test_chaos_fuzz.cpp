@@ -1,0 +1,130 @@
+// Chaos subsystem tests: repro serialization round-trips, fuzzer
+// determinism & validity, the differential oracle's clean path, and the
+// negative loop — a seeded invariant violation must be caught, shrunk,
+// serialized, and replayed from the artifact to the same failure class.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "sim/chaos/fuzzer.h"
+#include "sim/chaos/oracle.h"
+#include "sim/chaos/repro.h"
+#include "sim/chaos/scenario.h"
+#include "sim/chaos/shrinker.h"
+
+namespace libra {
+namespace {
+
+using chaos::InjectKind;
+using chaos::Scenario;
+using chaos::ScenarioFuzzer;
+using chaos::Verdict;
+
+TEST(ChaosRepro, RoundTripsBitIdentically) {
+  ScenarioFuzzer fuzzer(123);
+  for (int i = 0; i < 5; ++i) {
+    const Scenario sc = fuzzer.next();
+    const std::string text = chaos::serialize_scenario(sc);
+    const Scenario back = chaos::parse_scenario(text);
+    EXPECT_EQ(chaos::serialize_scenario(back), text)
+        << "iteration " << i << " did not round-trip";
+  }
+}
+
+TEST(ChaosRepro, RejectsMalformedInput) {
+  EXPECT_THROW(chaos::parse_scenario("bogus"), std::invalid_argument);
+  EXPECT_THROW(chaos::parse_scenario("libra-chaos-repro v1\n"),
+               std::invalid_argument);  // missing 'end'
+  EXPECT_THROW(
+      chaos::parse_scenario("libra-chaos-repro v1\nnode 12 zebra\nend\n"),
+      std::invalid_argument);  // bad number
+  EXPECT_THROW(
+      chaos::parse_scenario("libra-chaos-repro v1\nwhatnow 1\nend\n"),
+      std::invalid_argument);  // unknown keyword
+  // Structurally fine but semantically invalid (no nodes): the parser runs
+  // Scenario::validate before handing the scenario back.
+  EXPECT_THROW(chaos::parse_scenario("libra-chaos-repro v1\nend\n"),
+               std::invalid_argument);
+}
+
+TEST(ChaosFuzzer, DeterministicAcrossInstances) {
+  ScenarioFuzzer a(42);
+  ScenarioFuzzer b(42);
+  for (int i = 0; i < 5; ++i)
+    EXPECT_EQ(chaos::serialize_scenario(a.next()),
+              chaos::serialize_scenario(b.next()));
+  ScenarioFuzzer c(43);
+  EXPECT_NE(chaos::serialize_scenario(ScenarioFuzzer(42).next()),
+            chaos::serialize_scenario(c.next()));
+}
+
+TEST(ChaosFuzzer, GeneratesValidVariedScenarios) {
+  ScenarioFuzzer fuzzer(7);
+  bool saw_spot = false, saw_storm = false, saw_quota = false,
+       saw_hetero = false;
+  for (int i = 0; i < 20; ++i) {
+    const Scenario sc = fuzzer.next();  // next() validates internally
+    EXPECT_NO_THROW(sc.validate());
+    for (const auto& o : sc.plan.outages) saw_spot = saw_spot || o.spot;
+    saw_storm = saw_storm || !sc.plan.prediction_faults.empty();
+    saw_quota = saw_quota || !sc.tenant_quotas.empty();
+    for (const auto& cap : sc.node_capacities)
+      saw_hetero = saw_hetero || cap.cpu != sc.node_capacities[0].cpu;
+  }
+  EXPECT_TRUE(saw_spot) << "20 draws produced no spot outage";
+  EXPECT_TRUE(saw_storm) << "20 draws produced no misprediction storm";
+  EXPECT_TRUE(saw_quota) << "20 draws produced no tenant quota";
+  EXPECT_TRUE(saw_hetero) << "20 draws produced no heterogeneous cluster";
+}
+
+TEST(ChaosOracle, CleanOnFixedSeed) {
+  ScenarioFuzzer fuzzer(20260808);
+  for (int i = 0; i < 2; ++i) {
+    const Scenario sc = fuzzer.next();
+    const Verdict v = chaos::check_scenario(sc);
+    EXPECT_TRUE(v.ok) << "seed 20260808 iteration " << i << " failed: "
+                      << v.failure << " — " << v.detail;
+  }
+}
+
+// The acceptance-path negative test: seed a conservation violation, verify
+// the oracle catches it, the shrinker preserves the failure class while
+// removing structure, and the serialized artifact replays to the same class.
+TEST(ChaosOracle, CatchesShrinksAndReplaysInjectedViolation) {
+  ScenarioFuzzer fuzzer(5);
+  Scenario sc = fuzzer.next();
+  chaos::arm_injection(sc, InjectKind::kConservation, /*at_event=*/150);
+
+  const Verdict v = chaos::check_scenario(sc);
+  ASSERT_FALSE(v.ok);
+  EXPECT_EQ(v.failure, chaos::kFailAudit);
+  EXPECT_NE(v.detail.find("conservation"), std::string::npos) << v.detail;
+
+  const auto shrunk = chaos::shrink_scenario(sc, v, /*max_rounds=*/2);
+  EXPECT_EQ(shrunk.verdict.failure, v.failure);
+  EXPECT_GT(shrunk.accepted, 0) << "nothing could be removed from a random "
+                                   "scenario without losing the failure";
+
+  const std::string text = chaos::serialize_scenario(shrunk.scenario);
+  const Scenario reloaded = chaos::parse_scenario(text);
+  EXPECT_EQ(chaos::serialize_scenario(reloaded), text);
+  const Verdict replayed = chaos::check_scenario(reloaded);
+  ASSERT_FALSE(replayed.ok);
+  EXPECT_EQ(replayed.failure, v.failure);
+}
+
+TEST(ChaosOracle, CatchesTenantQuotaInjection) {
+  ScenarioFuzzer fuzzer(9);
+  Scenario sc = fuzzer.next();
+  chaos::arm_injection(sc, InjectKind::kTenantQuota, /*at_event=*/100);
+  ASSERT_FALSE(sc.tenant_quotas.empty());  // arm_injection's precondition
+
+  const Verdict v = chaos::check_scenario(sc);
+  ASSERT_FALSE(v.ok);
+  EXPECT_EQ(v.failure, chaos::kFailAudit);
+  EXPECT_NE(v.detail.find("tenant quota"), std::string::npos) << v.detail;
+}
+
+}  // namespace
+}  // namespace libra
