@@ -17,8 +17,11 @@
 
 #include "core/coverage.h"
 #include "core/harvest_pool.h"
+#include "core/pool_status.h"
 #include "core/profiler.h"
+#include "exp/platforms.h"
 #include "exp/report.h"
+#include "exp/runner.h"
 #include "ml/forest.h"
 #include "obs/obs_config.h"
 #include "obs/obs_session.h"
@@ -120,6 +123,67 @@ void BM_DemandCoverage50Nodes(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DemandCoverage50Nodes)->Arg(8)->Arg(64)->Arg(256);
+
+/// A pool snapshot with `entries` tracked collections, shaped like a busy
+/// node's status.
+core::PoolStatus make_pool_status(int entries) {
+  core::PoolStatus status;
+  for (int i = 0; i < entries; ++i)
+    status.entries.push_back({{1.0 + i % 3, 64.0 * (i % 5)}, 10.0 + i * 0.37});
+  status.taken_at = 1.0;
+  return status;
+}
+
+double consume_pool_status(const core::PoolStatus& status) {
+  double acc = 0.0;
+  for (const auto& e : status.entries) acc += e.volume.cpu + e.est_expiry;
+  return acc;
+}
+
+void BM_PoolStatusCopyRead(benchmark::State& state) {
+  // The pre-§5k scheduler hot path: every per-node decision step copied the
+  // provider's PoolStatus (a vector allocation + element copy per node per
+  // decision).
+  const core::PoolStatus source = make_pool_status(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    core::PoolStatus status = source;
+    benchmark::DoNotOptimize(consume_pool_status(status));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PoolStatusCopyRead)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_PoolStatusRefRead(benchmark::State& state) {
+  // The current hot path: the const-ref PoolStatusProvider (or the control
+  // plane's copy-on-gossip cache) hands the scheduler a reference; the only
+  // copies left are the gossip refreshes.
+  const core::PoolStatus source = make_pool_status(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    const core::PoolStatus& status = source;
+    benchmark::DoNotOptimize(consume_pool_status(status));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PoolStatusRefRead)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_EngineRunControllers(benchmark::State& state) {
+  // End-to-end engine run at 1 vs 4 front-end controllers (pass-through
+  // gossip): the controllers=1 row is the transparent path, whose cost must
+  // match the pre-control-plane engine; the controllers=4 row prices the
+  // cache feed + steal scans. No gate — digests are the correctness story
+  // (golden replay), this row is the overhead story.
+  auto catalog = std::make_shared<const sim::FunctionCatalog>(
+      workload::sebs_catalog());
+  const auto trace = workload::burst_trace(*catalog, 200, 5);
+  for (auto _ : state) {
+    auto policy = exp::make_platform(exp::PlatformKind::kLibra, catalog);
+    auto cfg = exp::jetstream_config(/*nodes=*/8, /*num_shards=*/4);
+    cfg.control.num_controllers = static_cast<int>(state.range(0));
+    auto m = exp::run_experiment(cfg, policy, trace);
+    benchmark::DoNotOptimize(m.sched_decisions);
+  }
+}
+BENCHMARK(BM_EngineRunControllers)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 
 void BM_ProfilerPrediction(benchmark::State& state) {
   auto catalog = std::make_shared<const sim::FunctionCatalog>(
@@ -256,6 +320,53 @@ bool check_disabled_obs_overhead() {
   return false;
 }
 
+/// Seconds per pool-status read over `reads` reads; `copy` selects the
+/// pre-§5k copying read, else the const-ref read the scheduler uses now.
+double time_status_reads(const core::PoolStatus& source, int reads,
+                         bool copy) {
+  const auto start = std::chrono::steady_clock::now();
+  double acc = 0.0;
+  for (int i = 0; i < reads; ++i) {
+    if (copy) {
+      core::PoolStatus status = source;
+      acc += consume_pool_status(status);
+    } else {
+      acc += consume_pool_status(source);
+    }
+  }
+  benchmark::DoNotOptimize(acc);
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(stop - start).count() / reads;
+}
+
+/// The §5k hot-path contract: the const-ref PoolStatus read must never cost
+/// more than the per-decision copy it replaced (5% headroom for timer
+/// noise). Best-of-N with retries, like the disabled-obs gate.
+bool check_pool_status_ref_overhead() {
+  constexpr int kReads = 100000;
+  constexpr int kReps = 5;
+  constexpr double kHeadroom = 1.05;
+  const core::PoolStatus source = make_pool_status(64);
+  for (int attempt = 1; attempt <= 3; ++attempt) {
+    double best_copy = 1e300, best_ref = 1e300;
+    for (int r = 0; r < kReps; ++r) {
+      best_copy = std::min(best_copy, time_status_reads(source, kReads, true));
+      best_ref = std::min(best_ref, time_status_reads(source, kReads, false));
+    }
+    std::printf(
+        "pool-status read gate (attempt %d): copy %.1f ns/read, const-ref "
+        "%.1f ns/read\n",
+        attempt, best_copy * 1e9, best_ref * 1e9);
+    if (best_ref <= best_copy * kHeadroom) {
+      std::printf("pool-status ref-read gate: PASS (ref <= copy)\n");
+      return true;
+    }
+  }
+  std::printf("pool-status ref-read gate: FAIL (const-ref read slower than "
+              "the copy it replaced)\n");
+  return false;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -263,5 +374,7 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return check_disabled_obs_overhead() ? 0 : 1;
+  const bool obs_ok = check_disabled_obs_overhead();
+  const bool ref_ok = check_pool_status_ref_overhead();
+  return obs_ok && ref_ok ? 0 : 1;
 }

@@ -36,8 +36,9 @@ std::shared_ptr<LibraPolicy> LibraPolicy::with_coverage_scheduler(
   // Two-phase wiring: the scheduler needs the policy as its status provider.
   struct LatePolicyProvider final : PoolStatusProvider {
     const LibraPolicy* policy = nullptr;
-    PoolStatus pool_status(NodeId node) const override {
-      return policy ? policy->pool_status(node) : PoolStatus{};
+    const PoolStatus& pool_status(NodeId node) const override {
+      static const PoolStatus kEmpty;
+      return policy ? policy->pool_status(node) : kEmpty;
     }
   };
   auto provider = std::make_shared<LatePolicyProvider>();
@@ -554,9 +555,10 @@ void LibraPolicy::on_drain_notice(NodeId node, sim::SimTime deadline,
   snapshots_[node] = PoolStatus{};
 }
 
-PoolStatus LibraPolicy::pool_status(NodeId node) const {
+const PoolStatus& LibraPolicy::pool_status(NodeId node) const {
+  static const PoolStatus kEmpty;
   auto it = snapshots_.find(node);
-  return it != snapshots_.end() ? it->second : PoolStatus{};
+  return it != snapshots_.end() ? it->second : kEmpty;
 }
 
 sim::PolicyStats LibraPolicy::stats() const {

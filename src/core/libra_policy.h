@@ -109,8 +109,9 @@ class LibraPolicy final : public sim::Policy, public PoolStatusProvider {
                        sim::EngineApi& api) override;
   sim::PolicyStats stats() const override;
 
-  // PoolStatusProvider: piggybacked (possibly stale) snapshot.
-  PoolStatus pool_status(sim::NodeId node) const override;
+  // PoolStatusProvider: piggybacked (possibly stale) snapshot, by reference
+  // into snapshots_ (valid until the node's next ping refresh).
+  const PoolStatus& pool_status(sim::NodeId node) const override;
 
   /// Direct pool access for tests and white-box benches.
   HarvestResourcePool& pool(sim::NodeId node) { return pool_for(node); }

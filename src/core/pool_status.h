@@ -26,7 +26,10 @@ struct PoolStatus {
 class PoolStatusProvider {
  public:
   virtual ~PoolStatusProvider() = default;
-  virtual PoolStatus pool_status(sim::NodeId node) const = 0;
+  /// Returns a reference into provider-owned storage (valid until the next
+  /// snapshot refresh for `node`) — the scheduling hot path reads one status
+  /// per candidate node per decision and must not copy the entries vector.
+  virtual const PoolStatus& pool_status(sim::NodeId node) const = 0;
 };
 
 }  // namespace libra::core

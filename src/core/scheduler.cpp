@@ -50,12 +50,18 @@ NodeId CoverageScheduler::coverage_pick(const Invocation& inv,
   const double window = api.exec_model().exec_time(
       sim::Resources::max(inv.user_alloc, inv.pred_demand), pred_profile);
 
+  static const PoolStatus kEmpty;
   NodeId best = kNoNode;
   double best_score = -1.0;
   for (const auto& node : api.nodes()) {
     if (!shard_feasible(node, inv, api)) continue;
-    const PoolStatus status =
-        provider_ ? provider_->pool_status(node.id()) : PoolStatus{};
+    // Owning controller's gossip-fed cache first (src/sim/ctrl); fall back to
+    // the policy's own piggybacked snapshot when the control plane is
+    // transparent. Reference semantics either way — no per-decision copies.
+    const PoolStatus* cached = api.controller_pool_view(node.id(), inv.controller);
+    const PoolStatus& status =
+        cached ? *cached
+               : (provider_ ? provider_->pool_status(node.id()) : kEmpty);
     const auto cov = demand_coverage(status, api.now(), extra, window);
     const double score = cov.weighted(alpha_);
     if (score > best_score + 1e-12) {

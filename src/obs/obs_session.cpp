@@ -299,6 +299,40 @@ void ObsSession::finish(const sim::RunMetrics& metrics) {
   }
   metrics_.gauge("run.completed").set(static_cast<double>(completed));
 
+  // Control-plane stats, only when the run actually exercised the control
+  // plane (multiple controllers or a gossip-fed cache): the classic
+  // single-controller transparent path keeps its summary unchanged.
+  const sim::ctrl::ControlPlaneStats& cp = metrics.control;
+  if (cp.controllers.size() > 1 || cp.total_gossip_updates() > 0) {
+    metrics_.gauge("ctrl.controllers")
+        .set(static_cast<double>(cp.controllers.size()));
+    metrics_.gauge("ctrl.decisions")
+        .set(static_cast<double>(cp.total_decisions()));
+    metrics_.gauge("ctrl.conflicts")
+        .set(static_cast<double>(cp.total_conflicts()));
+    metrics_.gauge("ctrl.steals.batches")
+        .set(static_cast<double>(cp.steal_batches));
+    metrics_.gauge("ctrl.steals.total")
+        .set(static_cast<double>(cp.total_stolen));
+    metrics_.gauge("ctrl.gossip.updates")
+        .set(static_cast<double>(cp.total_gossip_updates()));
+    metrics_.gauge("ctrl.gossip.drops")
+        .set(static_cast<double>(cp.total_gossip_drops()));
+    for (size_t i = 0; i < cp.controllers.size(); ++i) {
+      const sim::ctrl::ControllerStats& cs = cp.controllers[i];
+      const std::string p = "ctrl.c" + std::to_string(i) + ".";
+      metrics_.gauge(p + "admitted").set(static_cast<double>(cs.admitted));
+      metrics_.gauge(p + "decisions").set(static_cast<double>(cs.decisions));
+      metrics_.gauge(p + "conflicts").set(static_cast<double>(cs.conflicts));
+      metrics_.gauge(p + "steals_in").set(static_cast<double>(cs.steals_in));
+      metrics_.gauge(p + "steals_out").set(static_cast<double>(cs.steals_out));
+      metrics_.gauge(p + "peak_queue_depth")
+          .set(static_cast<double>(cs.peak_queue_depth));
+      metrics_.gauge(p + "staleness_mean").set(cs.mean_staleness());
+      metrics_.gauge(p + "staleness_max").set(cs.staleness_max);
+    }
+  }
+
   const std::pair<const char*, const util::StepSeries*> cluster_series[] = {
       {"cluster.cpu_used", &metrics.cpu_used},
       {"cluster.mem_used", &metrics.mem_used},

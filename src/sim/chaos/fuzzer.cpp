@@ -66,6 +66,17 @@ Scenario ScenarioFuzzer::next() {
   sc.num_shards = static_cast<int>(r.uniform_int(1, 2));
   sc.workers_b = 4;
 
+  // ---- Control plane ----
+  // Most scenarios run multi-controller; a third opt into the divergence
+  // knobs (periodic refresh or partial fan-out) whose behaviour the digest
+  // gates exclude but the accounting/audit oracle still covers.
+  sc.num_controllers = static_cast<int>(r.uniform_int(1, 4));
+  if (r.bernoulli(0.3)) sc.gossip_period = r.uniform(0.5, 5.0);
+  if (sc.num_controllers > 1 && r.bernoulli(0.3))
+    sc.gossip_fanout =
+        static_cast<int>(r.uniform_int(1, sc.num_controllers - 1));
+  sc.controllers_b = static_cast<int>(r.uniform_int(2, 4));
+
   // ---- Scripted outages (spot + hard crashes) ----
   const int num_outages = static_cast<int>(r.uniform_int(0, 2));
   for (int i = 0; i < num_outages; ++i) {
@@ -130,12 +141,17 @@ Scenario ScenarioFuzzer::next() {
     sc.profile.ping_delay_mean = r.uniform(0.1, 1.0);
     sc.profile.cold_start_fail_prob = r.uniform(0.0, 0.1);
     sc.profile.monitor_skip_prob = r.uniform(0.0, 0.2);
+    sc.profile.gossip_drop_prob = r.uniform(0.0, 0.3);
+    sc.profile.gossip_delay_prob = r.uniform(0.0, 0.3);
+    sc.profile.gossip_delay_mean = r.uniform(0.1, 1.0);
   } else {
     sc.profile.node_mtbf = 0.0;
     sc.profile.ping_drop_prob = 0.0;
     sc.profile.ping_delay_prob = 0.0;
     sc.profile.cold_start_fail_prob = 0.0;
     sc.profile.monitor_skip_prob = 0.0;
+    sc.profile.gossip_drop_prob = 0.0;
+    sc.profile.gossip_delay_prob = 0.0;
   }
 
   // ---- Multi-tenancy ----

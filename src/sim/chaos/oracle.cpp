@@ -110,7 +110,8 @@ struct LegResult {
 
 LegResult run_leg(const Scenario& sc, std::vector<sim::Invocation> trace,
                   const std::shared_ptr<const sim::FunctionCatalog>& catalog,
-                  bool libra, int workers, bool with_injection) {
+                  bool libra, int workers, bool with_injection,
+                  int controllers) {
   AuditCapture capture;
   analysis::InvariantAuditor auditor(analysis::InvariantAuditorConfig{1});
   std::shared_ptr<sim::Policy> policy;
@@ -131,6 +132,7 @@ LegResult run_leg(const Scenario& sc, std::vector<sim::Invocation> trace,
   InjectingHook hook(&auditor, with_injection ? libra_policy : nullptr,
                      sc.inject);
   sim::EngineConfig cfg = sc.engine_config(workers);
+  cfg.control.num_controllers = controllers;
   cfg.audit_hook = &hook;
   sim::Engine engine(cfg, policy);
 
@@ -217,8 +219,9 @@ Verdict check_scenario(const Scenario& sc) {
   const std::vector<sim::Invocation> trace = materialize_trace(sc, catalog);
 
   // Leg A: instrumented Libra, serial scheduling, injection armed.
-  const LegResult a = run_leg(sc, trace, catalog, /*libra=*/true,
-                              /*workers=*/1, /*with_injection=*/true);
+  const LegResult a =
+      run_leg(sc, trace, catalog, /*libra=*/true,
+              /*workers=*/1, /*with_injection=*/true, sc.num_controllers);
   if (a.audit_failures > 0) {
     std::ostringstream os;
     os << a.audit_failures << " audit failure(s); first: " << a.first_diag;
@@ -232,8 +235,9 @@ Verdict check_scenario(const Scenario& sc) {
 
   // Leg B: identical scenario, parallel shard speculation — the replay
   // digest must not move by a single bit.
-  const LegResult b = run_leg(sc, trace, catalog, /*libra=*/true,
-                              sc.workers_b, /*with_injection=*/false);
+  const LegResult b =
+      run_leg(sc, trace, catalog, /*libra=*/true, sc.workers_b,
+              /*with_injection=*/false, sc.num_controllers);
   if (b.audit_failures > 0) {
     std::ostringstream os;
     os << "parallel leg: " << b.audit_failures
@@ -249,9 +253,49 @@ Verdict check_scenario(const Scenario& sc) {
     return fail(kFailDigest, os.str());
   }
 
+  // Legs D/E: the controller differential (DESIGN.md §5k). On a copy with
+  // every divergence source stripped — fresh pass-through gossip, zero
+  // gossip fault probabilities, no injection — sharding the catalog across
+  // controllers_b front ends with work stealing enabled must reproduce the
+  // single-controller digest bit-for-bit.
+  if (sc.controllers_b != 1) {
+    Scenario stripped = sc;
+    stripped.gossip_period = 0.0;
+    stripped.gossip_fanout = 0;
+    stripped.profile.gossip_drop_prob = 0.0;
+    stripped.profile.gossip_delay_prob = 0.0;
+    stripped.inject.kind = InjectKind::kNone;
+    // Leg A already is the stripped single-controller run when the scenario
+    // carries no divergence knobs — reuse its digest instead of re-running.
+    const bool a_is_stripped =
+        sc.num_controllers == 1 && sc.gossip_period == 0.0 &&
+        sc.gossip_fanout == 0 && sc.profile.gossip_drop_prob == 0.0 &&
+        sc.profile.gossip_delay_prob == 0.0 &&
+        sc.inject.kind == InjectKind::kNone;
+    const uint64_t dd =
+        a_is_stripped
+            ? da
+            : exp::run_metrics_digest(
+                  run_leg(stripped, trace, catalog, /*libra=*/true,
+                          /*workers=*/1, /*with_injection=*/false,
+                          /*controllers=*/1)
+                      .metrics);
+    const LegResult e =
+        run_leg(stripped, trace, catalog, /*libra=*/true,
+                /*workers=*/1, /*with_injection=*/false, stripped.controllers_b);
+    const uint64_t de = exp::run_metrics_digest(e.metrics);
+    if (dd != de) {
+      std::ostringstream os;
+      os << "controllers 1 vs " << stripped.controllers_b << ": "
+         << exp::digest_hex(dd) << " != " << exp::digest_hex(de);
+      return fail(kFailDigest, os.str());
+    }
+  }
+
   // Leg C: the default platform as the cross-scheduler sanity reference.
-  const LegResult c = run_leg(sc, trace, catalog, /*libra=*/false,
-                              /*workers=*/1, /*with_injection=*/false);
+  const LegResult c =
+      run_leg(sc, trace, catalog, /*libra=*/false,
+              /*workers=*/1, /*with_injection=*/false, sc.num_controllers);
   if (c.audit_failures > 0) {
     std::ostringstream os;
     os << "default-platform leg: " << c.audit_failures

@@ -1,6 +1,7 @@
 // Differential oracle for chaos scenarios. One check_scenario() call runs
-// the scenario through three engine legs and reports the first violated
-// property as a stable failure class:
+// the scenario through up to five engine legs (serial, parallel-workers,
+// the controller differential pair, and the default-platform reference) and
+// reports the first violated property as a stable failure class:
 //
 //   audit-violation  — a LIBRA_AUDIT_CHECK fired (pool conservation,
 //                      per-tenant quota, or a cross-layer InvariantAuditor
@@ -10,7 +11,10 @@
 //                      overdrawn, a lost invocation also completed, ...);
 //   digest-mismatch  — RunMetrics digests differ between sched_workers == 1
 //                      and sched_workers == workers_b (the §6.4 parallel
-//                      scheduling determinism contract);
+//                      scheduling determinism contract), or between 1 and
+//                      controllers_b front-end controllers on a copy with
+//                      every gossip divergence source stripped (the §5k
+//                      multi-controller digest-identity contract);
 //   goodput          — goodput outside [0, 1], or a failure-free scenario
 //                      lost work on either Libra or the default platform.
 //

@@ -72,6 +72,9 @@ std::string serialize_scenario(const Scenario& sc) {
   os << "seed " << sc.seed << "\n";
   os << "workers_b " << sc.workers_b << "\n";
   os << "num_shards " << sc.num_shards << "\n";
+  os << "controllers " << sc.num_controllers << " " << sc.controllers_b
+     << "\n";
+  os << "gossip " << fmt(sc.gossip_period) << " " << sc.gossip_fanout << "\n";
   os << "spot_drain_notice " << fmt(sc.spot_drain_notice) << "\n";
   for (const auto& cap : sc.node_capacities)
     os << "node " << fmt(cap.cpu) << " " << fmt(cap.mem) << "\n";
@@ -95,7 +98,10 @@ std::string serialize_scenario(const Scenario& sc) {
      << " " << fmt(sc.profile.ping_delay_prob) << " "
      << fmt(sc.profile.ping_delay_mean) << " "
      << fmt(sc.profile.cold_start_fail_prob) << " "
-     << fmt(sc.profile.monitor_skip_prob) << "\n";
+     << fmt(sc.profile.monitor_skip_prob) << " "
+     << fmt(sc.profile.gossip_drop_prob) << " "
+     << fmt(sc.profile.gossip_delay_prob) << " "
+     << fmt(sc.profile.gossip_delay_mean) << "\n";
   os << "gen " << sc.gen.functions << " " << fmt(sc.gen.rpm) << " "
      << fmt(sc.gen.duration) << " " << sc.gen.seed << " " << fmt(sc.gen.zipf_s)
      << " " << fmt(sc.gen.diurnal_amplitude) << " "
@@ -190,8 +196,20 @@ Scenario parse_scenario(const std::string& text) {
       p.until = parse_double(line, 3);
       p.severity = parse_double(line, 4);
       sc.plan.prediction_faults.push_back(p);
+    } else if (line.keyword == "controllers") {
+      expect_arity(line, 2);
+      sc.num_controllers = static_cast<int>(parse_int(line, 0));
+      sc.controllers_b = static_cast<int>(parse_int(line, 1));
+    } else if (line.keyword == "gossip") {
+      expect_arity(line, 2);
+      sc.gossip_period = parse_double(line, 0);
+      sc.gossip_fanout = static_cast<int>(parse_int(line, 1));
     } else if (line.keyword == "profile") {
-      expect_arity(line, 8);
+      // 8 operands = pre-control-plane artifacts (gossip faults default to
+      // off); 11 = current format with the gossip fault probabilities.
+      if (line.tokens.size() != 8 && line.tokens.size() != 11)
+        bad_line(line, "expected 8 or 11 operands, got " +
+                           std::to_string(line.tokens.size()));
       sc.profile.seed = parse_u64(line, 0);
       sc.profile.node_mtbf = parse_double(line, 1);
       sc.profile.node_mttr = parse_double(line, 2);
@@ -200,6 +218,11 @@ Scenario parse_scenario(const std::string& text) {
       sc.profile.ping_delay_mean = parse_double(line, 5);
       sc.profile.cold_start_fail_prob = parse_double(line, 6);
       sc.profile.monitor_skip_prob = parse_double(line, 7);
+      if (line.tokens.size() == 11) {
+        sc.profile.gossip_drop_prob = parse_double(line, 8);
+        sc.profile.gossip_delay_prob = parse_double(line, 9);
+        sc.profile.gossip_delay_mean = parse_double(line, 10);
+      }
     } else if (line.keyword == "gen") {
       expect_arity(line, 12);
       sc.gen.functions = static_cast<int>(parse_int(line, 0));

@@ -14,6 +14,9 @@ sim::EngineConfig Scenario::engine_config(int sched_workers) const {
   cfg.fault_plan = plan;
   cfg.fault_profile = profile;
   cfg.spot_drain_notice = spot_drain_notice;
+  cfg.control.num_controllers = num_controllers;
+  cfg.control.gossip_period = gossip_period;
+  cfg.control.gossip_fanout = gossip_fanout;
   // Fuzz scenarios span tens of sim-seconds; the default 600 s placement
   // timeout would let an everything-dead scenario idle for minutes of sim
   // time after the last arrival. Short bounds keep each oracle leg fast
@@ -30,6 +33,16 @@ void Scenario::validate() const {
                                 std::to_string(workers_b));
   }
   engine_config(workers_b).validate();
+  if (controllers_b < 1) {
+    throw std::invalid_argument(
+        "chaos::Scenario: controllers_b must be >= 1, got " +
+        std::to_string(controllers_b));
+  }
+  // The controller-differential leg runs at controllers_b; validate that
+  // configuration too (num_controllers itself was covered above).
+  sim::EngineConfig cfg_b = engine_config(1);
+  cfg_b.control.num_controllers = controllers_b;
+  cfg_b.validate();
   gen.validate();
   // The EngineConfig pass above checked node ranges; re-validate with the
   // catalog size so prediction faults must target a real function.

@@ -88,6 +88,19 @@ struct Scenario {
   /// Worker count for the differential leg (digest must match workers=1).
   int workers_b = 4;
 
+  // ---- Control plane (ctrl::ControlPlaneConfig knobs) ----
+  /// Front-end controllers for the primary legs (1 = classic engine).
+  int num_controllers = 1;
+  /// Opt-in gossip divergence knobs: periodic view refresh and partial
+  /// fan-out. Both 0 = pass-through gossip (the digest-identity regime).
+  double gossip_period = 0.0;
+  int gossip_fanout = 0;
+  /// Controller count for the controller-differential leg: on a copy of the
+  /// scenario with every divergence source stripped (fresh gossip, zero
+  /// gossip fault probs, no injection), the replay digest at 1 controller
+  /// must equal the digest at controllers_b.
+  int controllers_b = 4;
+
   InjectSpec inject;
 
   /// Engine configuration for one leg of the differential check. Short

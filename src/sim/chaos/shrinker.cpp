@@ -64,6 +64,14 @@ std::vector<Scenario> candidates(const Scenario& sc) {
     next.profile.seed = sc.profile.seed;
     push(std::move(next));
   }
+  if (sc.num_controllers != 1 || sc.gossip_period > 0.0 ||
+      sc.gossip_fanout != 0) {
+    Scenario next = sc;
+    next.num_controllers = 1;
+    next.gossip_period = 0.0;
+    next.gossip_fanout = 0;
+    push(std::move(next));
+  }
   if (sc.spot_drain_notice > 0.0) {
     Scenario next = sc;
     next.spot_drain_notice = 0.0;

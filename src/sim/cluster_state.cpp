@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/ctrl/control_plane.h"
 #include "sim/fault/fault_injector.h"
 #include "sim/lifecycle.h"
 #include "sim/policy.h"
@@ -70,10 +71,14 @@ void ClusterState::health_ping(NodeId node_id) {
         last_ping_delivered_[static_cast<size_t>(node_id)] =
             host_.queue().now();
         host_.policy().on_health_ping(node_id, host_.api());
+        // Gossip rides on delivered pings: controllers refresh (or schedule
+        // refreshes of) their cached pool views from the policy's snapshot.
+        host_.control().on_gossip(node_id);
       });
     } else {
       last_ping_delivered_[static_cast<size_t>(node_id)] = host_.queue().now();
       host_.policy().on_health_ping(node_id, host_.api());
+      host_.control().on_gossip(node_id);
     }
   }
   if (host_.fault_active()) {
@@ -123,6 +128,10 @@ void ClusterState::on_drain_notice(NodeId node_id, SimTime down_at) {
   // platform honoring the notice pulls the node's pool inventory back while
   // every source/borrower invocation is still intact.
   host_.policy().on_drain_notice(node_id, down_at, host_.api());
+  // Controllers must forget cached pool views of a draining node in the same
+  // instant the policy clears its own snapshot, or a stale cache would keep
+  // advertising pool capacity the drain just pulled back.
+  host_.control().on_node_view_reset(node_id);
   // The node agent then migrates everything off the departing node. These
   // are graceful, budget-free evictions: the platform was warned, so they do
   // not consume max_fault_retries (see InvocationLifecycle::drain_invocation).
@@ -153,6 +162,9 @@ void ClusterState::on_node_up(NodeId node_id) {
   // next health ping is delivered — last_ping_delivered_ is left stale on
   // purpose, so schedulers keep avoiding it for up to one ping interval.
   host_.policy().on_node_up(node_id, host_.api());
+  // Mirror the policy's snapshot clear (the node rejoins empty); cached views
+  // from before the crash must not survive the recovery.
+  host_.control().on_node_view_reset(node_id);
   host_.controller().retry_waiting();
   host_.notify_audit("node_up", kNoInvocation, node_id);
 }

@@ -1,0 +1,76 @@
+// Per-controller counters of the multi-controller control plane (DESIGN.md
+// §5k). Snapshotted into RunMetrics at the end of a run, in the
+// digest-excluded section: controller attribution, gossip staleness and
+// steal/conflict accounting are observability, never part of the replay
+// digest — a run must stay bit-identical across controller counts.
+#pragma once
+
+#include <vector>
+
+namespace libra::sim::ctrl {
+
+struct ControllerStats {
+  /// Invocations whose catalog shard this controller owns (post-stealing the
+  /// owner may change; admitted counts the original owner).
+  long admitted = 0;
+  /// Scheduling decisions committed for invocations this controller owned at
+  /// decision time. Sums to RunMetrics::sched_decisions across controllers.
+  long decisions = 0;
+  /// Stale-view conflicts: the controller's scheduler chose a node, but the
+  /// ground-truth commit validation rejected it (node dead, draining, or the
+  /// reservation no longer fits). Always resolved by reject-and-requeue —
+  /// the invocation parks and retries — never by silent over-commit.
+  long conflicts = 0;
+  /// Invocations this controller stole from overloaded peers / lost to them.
+  long steals_in = 0;
+  long steals_out = 0;
+  /// Pool-view cache refreshes applied / dropped / delivered late / discarded
+  /// as out-of-order (an in-flight delayed update older than the cache).
+  long gossip_updates = 0;
+  long gossip_drops = 0;
+  long gossip_delays = 0;
+  long gossip_discards = 0;
+  /// High-water mark of this controller's admission-queue depth.
+  long peak_queue_depth = 0;
+  /// View staleness (now - cached taken_at) sampled at each decision that
+  /// chose a node from a non-transparent view.
+  long staleness_samples = 0;
+  double staleness_sum = 0.0;
+  double staleness_max = 0.0;
+
+  double mean_staleness() const {
+    return staleness_samples > 0
+               ? staleness_sum / static_cast<double>(staleness_samples)
+               : 0.0;
+  }
+};
+
+struct ControlPlaneStats {
+  std::vector<ControllerStats> controllers;
+  /// Cross-controller steal batches executed and invocations moved in total.
+  long steal_batches = 0;
+  long total_stolen = 0;
+
+  long total_decisions() const {
+    long n = 0;
+    for (const auto& c : controllers) n += c.decisions;
+    return n;
+  }
+  long total_conflicts() const {
+    long n = 0;
+    for (const auto& c : controllers) n += c.conflicts;
+    return n;
+  }
+  long total_gossip_updates() const {
+    long n = 0;
+    for (const auto& c : controllers) n += c.gossip_updates;
+    return n;
+  }
+  long total_gossip_drops() const {
+    long n = 0;
+    for (const auto& c : controllers) n += c.gossip_drops;
+    return n;
+  }
+};
+
+}  // namespace libra::sim::ctrl

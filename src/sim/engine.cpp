@@ -22,6 +22,7 @@ Engine::Engine(EngineConfig cfg, std::shared_ptr<Policy> policy)
   cluster_ = std::make_unique<ClusterState>(host);
   lifecycle_ = std::make_unique<InvocationLifecycle>(host, exec_);
   controller_ = std::make_unique<ShardedController>(host);
+  ctrlplane_ = std::make_unique<ctrl::ControlPlane>(host);
 }
 
 Invocation& Engine::invocation(InvocationId id) {
@@ -87,6 +88,7 @@ RunMetrics Engine::run(std::vector<Invocation> trace) {
   }
   schedule_drain_notices();
   cluster_->start_health_pings(metrics_.first_arrival);
+  ctrlplane_->start(metrics_.first_arrival);
   queue_.run();
   return finish_run();
 }
@@ -115,6 +117,7 @@ RunMetrics Engine::run(gen::TraceSource& source) {
   }
   schedule_drain_notices();
   cluster_->start_health_pings(metrics_.first_arrival);
+  ctrlplane_->start(metrics_.first_arrival);
   SimTime last_admitted = *first;
   for (;;) {
     // Admit everything due at or before the next event (plus the look-ahead
@@ -228,6 +231,7 @@ RunMetrics Engine::finish_run() {
   }
   metrics_.cold_starts = cold;
   metrics_.warm_starts = warm;
+  metrics_.control = ctrlplane_->stats();
   metrics_.policy = policy_->stats();
   return std::move(metrics_);
 }

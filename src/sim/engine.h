@@ -20,6 +20,7 @@
 
 #include "gen/trace_source.h"
 #include "sim/cluster_state.h"
+#include "sim/ctrl/control_plane.h"
 #include "sim/engine_config.h"
 #include "sim/engine_host.h"
 #include "sim/event_queue.h"
@@ -75,6 +76,13 @@ class Engine final : public EngineApi, private EngineHost {
   std::vector<InvocationId> placed_invocations() const override {
     return cluster_->placed_invocations();
   }
+  const core::PoolStatus* controller_pool_view(NodeId node,
+                                               int controller) const override {
+    return ctrlplane_->view(node, controller);
+  }
+
+  /// White-box access for the control-plane tests (read-only).
+  const ctrl::ControlPlane& control_plane() const { return *ctrlplane_; }
 
  private:
   // ---- EngineHost (the layers' view of the engine) ----
@@ -86,6 +94,7 @@ class Engine final : public EngineApi, private EngineHost {
   ClusterState& cluster() override { return *cluster_; }
   InvocationLifecycle& lifecycle() override { return *lifecycle_; }
   ShardedController& controller() override { return *controller_; }
+  ctrl::ControlPlane& control() override { return *ctrlplane_; }
   // Invocation& invocation(InvocationId) — the public EngineApi override
   // above also overrides the identical EngineHost virtual.
   Invocation* find_invocation(InvocationId id) override {
@@ -144,11 +153,12 @@ class Engine final : public EngineApi, private EngineHost {
   size_t completed_ = 0;
   size_t total_ = 0;
 
-  // The three layers (constructed after everything they reach through
-  // EngineHost; declaration order matters).
+  // The layers (constructed after everything they reach through EngineHost;
+  // declaration order matters).
   std::unique_ptr<ClusterState> cluster_;
   std::unique_ptr<InvocationLifecycle> lifecycle_;
   std::unique_ptr<ShardedController> controller_;
+  std::unique_ptr<ctrl::ControlPlane> ctrlplane_;
 };
 
 }  // namespace libra::sim

@@ -67,6 +67,7 @@ void EngineConfig::validate() const {
   require_finite_non_negative(spot_drain_notice, "spot_drain_notice");
   require_finite_non_negative(series_resolution, "series_resolution");
   require_finite_non_negative(admission_lookahead, "admission_lookahead");
+  control.validate();
   fault_plan.validate(node_capacities.size());
   fault_profile.validate();
 }

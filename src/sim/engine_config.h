@@ -8,6 +8,7 @@
 
 #include "sim/audit_hook.h"
 #include "sim/container_pool.h"
+#include "sim/ctrl/ctrl_config.h"
 #include "sim/execution_model.h"
 #include "sim/fault/fault_injector.h"
 #include "sim/types.h"
@@ -40,6 +41,12 @@ struct EngineConfig {
   /// for any value (asserted by the golden-replay test). 1 = decisions are
   /// speculated inline, no threads are spawned.
   int sched_workers = 1;
+
+  /// Multi-controller control plane (src/sim/ctrl, DESIGN.md §5k): number
+  /// of front-end controllers, gossip feeding of their pool-view caches and
+  /// the cross-controller steal knobs. The default is transparent — one
+  /// controller, pass-through gossip — and reproduces the golden digests.
+  ctrl::ControlPlaneConfig control;
 
   // ---- Fault injection & recovery (src/sim/fault) ----
   fault::FaultPlan fault_plan;        // scripted faults, replayed verbatim

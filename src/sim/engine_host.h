@@ -20,6 +20,9 @@ class Policy;
 class ClusterState;
 class InvocationLifecycle;
 class ShardedController;
+namespace ctrl {
+class ControlPlane;
+}
 namespace fault {
 class FaultInjector;
 }
@@ -37,6 +40,9 @@ class EngineHost {
   virtual ClusterState& cluster() = 0;
   virtual InvocationLifecycle& lifecycle() = 0;
   virtual ShardedController& controller() = 0;
+  /// Multi-controller control plane (src/sim/ctrl): catalog sharding across
+  /// N front ends, gossip-fed pool-view caches, cross-controller stealing.
+  virtual ctrl::ControlPlane& control() = 0;
 
   virtual Invocation& invocation(InvocationId id) = 0;
   /// Non-throwing lookup: nullptr when the id is unknown — e.g. recycled

@@ -105,6 +105,8 @@ void FaultProfile::validate() const {
   check_probability(ping_delay_prob, "ping_delay_prob");
   check_probability(cold_start_fail_prob, "cold_start_fail_prob");
   check_probability(monitor_skip_prob, "monitor_skip_prob");
+  check_probability(gossip_drop_prob, "gossip_drop_prob");
+  check_probability(gossip_delay_prob, "gossip_delay_prob");
   if (!std::isfinite(node_mtbf) || !(node_mtbf >= 0.0))
     throw std::invalid_argument(
         "FaultProfile: node_mtbf is NaN, infinite, or negative");
@@ -117,6 +119,11 @@ void FaultProfile::validate() const {
     throw std::invalid_argument(
         "FaultProfile: ping_delay_mean must be finite and positive when "
         "delays are enabled");
+  if (gossip_delay_prob > 0.0 &&
+      (!std::isfinite(gossip_delay_mean) || !(gossip_delay_mean > 0.0)))
+    throw std::invalid_argument(
+        "FaultProfile: gossip_delay_mean must be finite and positive when "
+        "gossip delays are enabled");
 }
 
 FaultInjector::FaultInjector(FaultPlan plan, FaultProfile profile,
@@ -206,6 +213,31 @@ bool FaultInjector::suppress_monitor_tick(NodeId node, SimTime now) {
     if (w.covers(node, now)) return true;
   if (profile_.monitor_skip_prob <= 0.0) return false;
   return monitor_rng_.bernoulli(profile_.monitor_skip_prob);
+}
+
+util::Rng& FaultInjector::gossip_rng(int controller) {
+  const auto idx = static_cast<size_t>(controller);
+  const util::Rng base(profile_.seed);
+  while (gossip_rng_.size() <= idx)
+    gossip_rng_.push_back(base.fork(0x50000 + gossip_rng_.size()));
+  return gossip_rng_[idx];
+}
+
+bool FaultInjector::drop_gossip(int controller, SimTime now) {
+  (void)now;
+  // Early-out BEFORE touching the stream: gossip-free profiles must not
+  // consume draws, so existing fault runs stay digest-identical across
+  // controller counts.
+  if (profile_.gossip_drop_prob <= 0.0) return false;
+  return gossip_rng(controller).bernoulli(profile_.gossip_drop_prob);
+}
+
+double FaultInjector::gossip_delay(int controller, SimTime now) {
+  (void)now;
+  if (profile_.gossip_delay_prob <= 0.0) return 0.0;
+  auto& rng = gossip_rng(controller);
+  if (!rng.bernoulli(profile_.gossip_delay_prob)) return 0.0;
+  return rng.exponential(1.0 / profile_.gossip_delay_mean);
 }
 
 }  // namespace libra::sim::fault

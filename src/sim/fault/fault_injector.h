@@ -32,10 +32,18 @@ struct FaultProfile {
   double cold_start_fail_prob = 0.0;
   /// Probability that one safeguard monitor tick is lost.
   double monitor_skip_prob = 0.0;
+  /// Probability that one controller gossip update is dropped (the cached
+  /// pool view then goes stale until the next delivered update; src/sim/ctrl).
+  double gossip_drop_prob = 0.0;
+  /// Probability that one gossip update is delayed (instead of dropped).
+  double gossip_delay_prob = 0.0;
+  /// Mean extra delivery delay of a delayed gossip update, seconds.
+  double gossip_delay_mean = 0.25;
 
   bool active() const {
     return node_mtbf > 0.0 || ping_drop_prob > 0.0 || ping_delay_prob > 0.0 ||
-           cold_start_fail_prob > 0.0 || monitor_skip_prob > 0.0;
+           cold_start_fail_prob > 0.0 || monitor_skip_prob > 0.0 ||
+           gossip_drop_prob > 0.0 || gossip_delay_prob > 0.0;
   }
 
   /// Throws std::invalid_argument on probabilities outside [0, 1] or
@@ -74,9 +82,17 @@ class FaultInjector {
   bool fail_cold_start(NodeId node, SimTime now);
   /// `node` is the node hosting the monitored invocation.
   bool suppress_monitor_tick(NodeId node, SimTime now);
+  /// Gossip-channel queries (src/sim/ctrl), streamed per CONTROLLER — two
+  /// controllers sampling the same node's update see independent faults, and
+  /// adding controllers never perturbs the per-node ping streams (digest
+  /// identity across controller counts under existing fault profiles).
+  bool drop_gossip(int controller, SimTime now);
+  /// Extra delivery delay for this gossip update, 0 when delivered on time.
+  double gossip_delay(int controller, SimTime now);
 
  private:
   void build_churn(size_t num_nodes, SimTime horizon);
+  util::Rng& gossip_rng(int controller);
 
   FaultPlan plan_;
   FaultProfile profile_;
@@ -85,6 +101,8 @@ class FaultInjector {
   std::vector<util::Rng> ping_rng_;
   std::vector<util::Rng> cold_rng_;
   util::Rng monitor_rng_;
+  /// Lazily grown: one stream per controller id actually queried.
+  std::vector<util::Rng> gossip_rng_;
 };
 
 }  // namespace libra::sim::fault

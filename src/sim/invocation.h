@@ -48,6 +48,11 @@ struct Invocation {
   // ---- Placement (Step 4) ----
   NodeId node = kNoNode;
   ShardId shard = 0;
+  /// Owning front-end controller (src/sim/ctrl): stamped `func % N` at
+  /// admission, re-stamped when an idle controller steals the invocation.
+  /// Selects which cached pool view the scheduler reads and where decisions
+  /// are attributed; never affects shard assignment or event timing.
+  int controller = 0;
   bool cold_start = false;
 
   // ---- Execution state (owned by the engine) ----

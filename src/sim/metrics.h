@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "sim/ctrl/ctrl_stats.h"
 #include "sim/invocation.h"
 #include "sim/policy.h"
 #include "sim/types.h"
@@ -127,6 +128,12 @@ struct RunMetrics {
   /// memory-flatness signal for streaming runs (equals the trace length for
   /// materialized runs, tracks the in-flight count when recycling).
   long peak_live_records = 0;
+
+  /// Multi-controller control plane (src/sim/ctrl): per-controller
+  /// admission/decision/conflict/steal/gossip-staleness counters. In the
+  /// digest-excluded section by design — a run must stay bit-identical
+  /// across controller counts, and these counters are what differs.
+  ctrl::ControlPlaneStats control;
 
   PolicyStats policy;
 

@@ -14,6 +14,10 @@
 #include "sim/node.h"
 #include "sim/types.h"
 
+namespace libra::core {
+struct PoolStatus;
+}  // namespace libra::core
+
 namespace libra::sim {
 
 /// Engine operations available to policies.
@@ -64,6 +68,20 @@ class EngineApi {
   /// ascending id order. The invariant auditor sums their user allocations
   /// (plus probe extras) against each node's allocated totals.
   virtual std::vector<InvocationId> placed_invocations() const { return {}; }
+
+  /// The owning controller's cached pool-status view of `node` (src/sim/ctrl,
+  /// DESIGN.md §5k), or nullptr when the control plane is transparent (one
+  /// controller, pass-through gossip) — schedulers then fall back to the
+  /// policy's own piggybacked snapshot, the legacy single-view path. The
+  /// returned view may be staler than the policy's snapshot (periodic or
+  /// lossy gossip); commit-time validation against ground truth makes that
+  /// safe. Stable for the duration of one decision batch.
+  virtual const core::PoolStatus* controller_pool_view(NodeId node,
+                                                       int controller) const {
+    (void)node;
+    (void)controller;
+    return nullptr;
+  }
 };
 
 /// Aggregate counters a policy reports at the end of a run (consumed by the

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "sim/cluster_state.h"
+#include "sim/ctrl/control_plane.h"
 #include "sim/fault/fault_injector.h"
 #include "sim/lifecycle.h"
 #include "sim/policy.h"
@@ -53,6 +54,8 @@ void ShardedController::admit(InvocationId id) {
   // Front ends spray invocations across shards; id-based assignment models
   // the decentralized, stateless dispatch of §6.4.
   v.shard = static_cast<ShardId>(v.id % host_.config().num_shards);
+  // Front-end ownership (src/sim/ctrl): stamps v.controller = func % N.
+  host_.control().on_admit(v);
   v.t_sched_enqueue = host_.queue().now();
   // Reject invocations that can never fit a shard slice anywhere.
   bool can_fit = false;
@@ -67,6 +70,7 @@ void ShardedController::admit(InvocationId id) {
     return;
   }
   shard_queues_[static_cast<size_t>(v.shard)].push_back(id);
+  host_.control().on_enqueued(id);
   pump(v.shard);
 }
 
@@ -75,6 +79,7 @@ void ShardedController::requeue_after_fault(InvocationId id) {
   if (inv.done) return;
   inv.t_sched_enqueue = host_.queue().now();  // timeout restarts per attempt
   shard_queues_[static_cast<size_t>(inv.shard)].push_back(id);
+  host_.control().on_enqueued(id);
   pump(inv.shard);
   host_.notify_audit("requeue", id);
 }
@@ -86,6 +91,7 @@ void ShardedController::retry_waiting() {
   for (auto it = parked.rbegin(); it != parked.rend(); ++it) {
     const Invocation& inv = host_.invocation(*it);
     shard_queues_[static_cast<size_t>(inv.shard)].push_front(*it);
+    host_.control().on_enqueued(*it);
   }
   for (ShardId s = 0; s < host_.config().num_shards; ++s) pump(s);
 }
@@ -143,6 +149,7 @@ void ShardedController::run_barrier(SimTime at) {
     if (shard_queues_[s].empty()) continue;
     items.push_back({shard_queues_[s].front(), std::nullopt, 0.0});
     shard_queues_[s].pop_front();
+    host_.control().on_dequeued(items.back().inv);
     shard_busy_until_[s] = at + host_.config().sched_decision_delay;
   }
 
@@ -177,6 +184,12 @@ void ShardedController::run_barrier(SimTime at) {
   // Phase 3 — re-pump the member shards, in the same order the serial
   // engine's per-shard events would have re-armed themselves.
   for (ShardId shard : members) pump(shard);
+
+  // Cross-controller work stealing (src/sim/ctrl): after the batch settles,
+  // idle front ends pull queued work from overloaded peers in fixed
+  // controller-id order. Pure re-stamping of Invocation::controller — it
+  // never reorders shard queues or event timing.
+  host_.control().maybe_steal();
 }
 
 void ShardedController::commit_one(InvocationId id,
@@ -207,6 +220,9 @@ void ShardedController::commit_one(InvocationId id,
   } else {
     chosen = host_.policy().select_node(inv, api);
   }
+  // The scheduler's pick before commit-time validation against ground truth;
+  // a first choice that fails validation below is a stale-view conflict.
+  const NodeId first_choice = chosen;
   if (chosen != kNoNode && !host_.cluster().node(chosen).up()) {
     // The scheduler worked from a stale health view / pool snapshot and
     // picked a dead node; the dispatch times out controller-side.
@@ -222,11 +238,15 @@ void ShardedController::commit_one(InvocationId id,
   }
   if (chosen == kNoNode ||
       !host_.cluster().node(chosen).try_reserve(inv.shard, inv.user_alloc)) {
+    // Reject-and-requeue: stale-view conflicts park the invocation (counted
+    // per owning controller), never silently over-commit ground truth.
+    host_.control().on_decision(inv, first_choice, /*placed=*/false);
     ++inv.park_count;
     waiting_.push_back(id);
     host_.notify_audit("park", id);
     return;
   }
+  host_.control().on_decision(inv, first_choice, /*placed=*/true);
   inv.node = chosen;
   host_.cluster().insert_placed(id);
   inv.t_sched_done = now;

@@ -48,6 +48,35 @@ TEST(ChaosRepro, RejectsMalformedInput) {
                std::invalid_argument);
 }
 
+// Artifacts written before the multi-controller control plane carry no
+// `controllers` / `gossip` lines and an 8-operand `profile` line; they must
+// still parse, with the control-plane knobs at their transparent defaults.
+TEST(ChaosRepro, AcceptsPreControlPlaneArtifacts) {
+  const std::string legacy =
+      "libra-chaos-repro v1\n"
+      "seed 1\n"
+      "workers_b 4\n"
+      "num_shards 1\n"
+      "spot_drain_notice 0\n"
+      "node 16 8192\n"
+      "profile 7 0 10 0 0 0.25 0 0\n"
+      "gen 4 300 20 9 0 0 300 0 0 1 0.05 0.5\n"
+      "num_tenants 1\n"
+      "end\n";
+  const chaos::Scenario sc = chaos::parse_scenario(legacy);
+  EXPECT_EQ(sc.num_controllers, 1);
+  EXPECT_EQ(sc.controllers_b, 4);
+  EXPECT_EQ(sc.gossip_period, 0.0);
+  EXPECT_EQ(sc.gossip_fanout, 0);
+  EXPECT_EQ(sc.profile.gossip_drop_prob, 0.0);
+  EXPECT_EQ(sc.profile.gossip_delay_prob, 0.0);
+  // Re-serializing upgrades the artifact to the current format, which then
+  // round-trips bit-identically.
+  const std::string text = chaos::serialize_scenario(sc);
+  EXPECT_NE(text.find("controllers 1 4"), std::string::npos);
+  EXPECT_EQ(chaos::serialize_scenario(chaos::parse_scenario(text)), text);
+}
+
 TEST(ChaosFuzzer, DeterministicAcrossInstances) {
   ScenarioFuzzer a(42);
   ScenarioFuzzer b(42);
@@ -62,7 +91,7 @@ TEST(ChaosFuzzer, DeterministicAcrossInstances) {
 TEST(ChaosFuzzer, GeneratesValidVariedScenarios) {
   ScenarioFuzzer fuzzer(7);
   bool saw_spot = false, saw_storm = false, saw_quota = false,
-       saw_hetero = false;
+       saw_hetero = false, saw_multi_ctrl = false, saw_stale_gossip = false;
   for (int i = 0; i < 20; ++i) {
     const Scenario sc = fuzzer.next();  // next() validates internally
     EXPECT_NO_THROW(sc.validate());
@@ -71,11 +100,17 @@ TEST(ChaosFuzzer, GeneratesValidVariedScenarios) {
     saw_quota = saw_quota || !sc.tenant_quotas.empty();
     for (const auto& cap : sc.node_capacities)
       saw_hetero = saw_hetero || cap.cpu != sc.node_capacities[0].cpu;
+    saw_multi_ctrl = saw_multi_ctrl || sc.num_controllers > 1;
+    saw_stale_gossip = saw_stale_gossip || sc.gossip_period > 0.0 ||
+                       sc.gossip_fanout > 0 ||
+                       sc.profile.gossip_drop_prob > 0.0;
   }
   EXPECT_TRUE(saw_spot) << "20 draws produced no spot outage";
   EXPECT_TRUE(saw_storm) << "20 draws produced no misprediction storm";
   EXPECT_TRUE(saw_quota) << "20 draws produced no tenant quota";
   EXPECT_TRUE(saw_hetero) << "20 draws produced no heterogeneous cluster";
+  EXPECT_TRUE(saw_multi_ctrl) << "20 draws produced no multi-controller run";
+  EXPECT_TRUE(saw_stale_gossip) << "20 draws produced no gossip divergence";
 }
 
 TEST(ChaosOracle, CleanOnFixedSeed) {

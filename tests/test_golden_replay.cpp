@@ -53,8 +53,9 @@ std::shared_ptr<const sim::FunctionCatalog> catalog() {
 }
 
 // Builds the scenario fresh on every call: policies are stateful, so each
-// (scenario, worker-count) run needs its own instance.
-uint64_t run_scenario(const std::string& name, int sched_workers) {
+// (scenario, worker-count, controller-count) run needs its own instance.
+uint64_t run_scenario(const std::string& name, int sched_workers,
+                      int controllers = 1) {
   auto cat = catalog();
   sim::EngineConfig cfg;
   std::shared_ptr<sim::Policy> policy;
@@ -79,6 +80,7 @@ uint64_t run_scenario(const std::string& name, int sched_workers) {
     policy = exp::make_scheduler_platform(kind, cat);
   }
   cfg.sched_workers = sched_workers;
+  cfg.control.num_controllers = controllers;
   const auto metrics = exp::run_experiment(cfg, policy, std::move(trace));
   return exp::run_metrics_digest(metrics);
 }
@@ -100,6 +102,28 @@ TEST_P(GoldenReplay, FourWorkersMatchPreRefactorEngine) {
       << "scenario " << c.name << " diverged from the pre-refactor engine "
       << "with sched_workers=4 — the parallel speculate/commit merge must be "
       << "order-independent";
+}
+
+// Multi-controller digest identity (DESIGN.md §5k): with pass-through gossip
+// and full fan-out, every controller's pool-view cache equals the policy's
+// own piggybacked snapshot at all times, so sharding the catalog across four
+// front ends — with work stealing enabled — must still reproduce the
+// pre-refactor digests bit-for-bit, serial and parallel.
+TEST_P(GoldenReplay, FourControllersOneWorkerMatchPreRefactorEngine) {
+  const auto& c = GetParam();
+  EXPECT_EQ(exp::digest_hex(run_scenario(c.name, 1, /*controllers=*/4)),
+            exp::digest_hex(c.digest))
+      << "scenario " << c.name << " diverged from the pre-refactor engine "
+      << "with 4 controllers — catalog sharding, gossip caches or work "
+      << "stealing leaked into engine behaviour";
+}
+
+TEST_P(GoldenReplay, FourControllersFourWorkersMatchPreRefactorEngine) {
+  const auto& c = GetParam();
+  EXPECT_EQ(exp::digest_hex(run_scenario(c.name, 4, /*controllers=*/4)),
+            exp::digest_hex(c.digest))
+      << "scenario " << c.name << " diverged from the pre-refactor engine "
+      << "with 4 controllers and 4 sched workers";
 }
 
 INSTANTIATE_TEST_SUITE_P(AllScenarios, GoldenReplay,

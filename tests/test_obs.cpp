@@ -166,6 +166,32 @@ TEST(ObsSession, SpansNestCorrectlyOnRealRun) {
             completed);
 }
 
+// Control-plane gauges appear only when the run exercised the control plane:
+// a multi-controller run exports the ctrl.* family, the classic transparent
+// single-controller run keeps its summary untouched.
+TEST(ObsSessionCtrl, ControlPlaneGaugesGatedOnMultiController) {
+  obs::ObsSession transparent;
+  run_with(&transparent);
+  EXPECT_EQ(transparent.metrics().gauges().count("ctrl.controllers"), 0u);
+
+  obs::ObsSession obs;
+  auto trace = workload::multi_trace(*catalog(), /*rpm=*/40, /*seed=*/5);
+  auto policy = exp::make_platform(exp::PlatformKind::kLibra, catalog());
+  auto cfg = exp::multi_node_config();
+  cfg.control.num_controllers = 3;
+  const auto m = exp::run_experiment(cfg, policy, std::move(trace), &obs);
+  const auto& gauges = obs.metrics().gauges();
+  ASSERT_EQ(gauges.count("ctrl.controllers"), 1u);
+  EXPECT_EQ(gauges.at("ctrl.controllers").value(), 3.0);
+  EXPECT_EQ(gauges.at("ctrl.decisions").value(),
+            static_cast<double>(m.sched_decisions));
+  ASSERT_EQ(gauges.count("ctrl.c2.admitted"), 1u);
+  EXPECT_EQ(gauges.at("ctrl.c0.admitted").value() +
+                gauges.at("ctrl.c1.admitted").value() +
+                gauges.at("ctrl.c2.admitted").value(),
+            static_cast<double>(m.invocations.size()));
+}
+
 TEST(ObsSession, DisabledSessionEmitsNothing) {
   obs::ObsConfig cfg;
   cfg.enabled = false;

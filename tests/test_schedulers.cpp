@@ -116,11 +116,13 @@ TEST_F(SchedulerFixture, AllReturnNoNodeWhenNothingFits) {
 TEST_F(SchedulerFixture, CoveragePicksNodeWithPooledSupply) {
   // Node 2 advertises pooled idle CPU covering the invocation's gap.
   struct FixedProvider final : core::PoolStatusProvider {
-    PoolStatus pool_status(sim::NodeId node) const override {
-      PoolStatus s;
-      if (node == 2) s.entries.push_back({{8, 1024}, 1e6});
-      return s;
+    FixedProvider() {
+      rich.entries.push_back({{8, 1024}, 1e6});
     }
+    const PoolStatus& pool_status(sim::NodeId node) const override {
+      return node == 2 ? rich : empty;
+    }
+    PoolStatus rich, empty;
   } provider;
   core::CoverageScheduler cov(&provider, 0.9);
   auto inv = make_inv(/*VP*/ 5, 1);
@@ -132,7 +134,8 @@ TEST_F(SchedulerFixture, CoveragePicksNodeWithPooledSupply) {
 
 TEST_F(SchedulerFixture, CoverageFallsBackToHashForNonAccelerable) {
   struct EmptyProvider final : core::PoolStatusProvider {
-    PoolStatus pool_status(sim::NodeId) const override { return {}; }
+    const PoolStatus& pool_status(sim::NodeId) const override { return empty; }
+    PoolStatus empty;
   } provider;
   core::CoverageScheduler cov(&provider, 0.9);
   baselines::HashScheduler hash;
@@ -147,12 +150,16 @@ TEST_F(SchedulerFixture, CoverageRespectsAlphaWeighting) {
   // Node 1 has CPU-only supply, node 2 memory-only. With alpha=0.9 the
   // CPU-rich node must win; with alpha=0.05 the memory-rich node wins.
   struct SplitProvider final : core::PoolStatusProvider {
-    PoolStatus pool_status(sim::NodeId node) const override {
-      PoolStatus s;
-      if (node == 1) s.entries.push_back({{8, 0}, 1e6});
-      if (node == 2) s.entries.push_back({{0, 4096}, 1e6});
-      return s;
+    SplitProvider() {
+      cpu_rich.entries.push_back({{8, 0}, 1e6});
+      mem_rich.entries.push_back({{0, 4096}, 1e6});
     }
+    const PoolStatus& pool_status(sim::NodeId node) const override {
+      if (node == 1) return cpu_rich;
+      if (node == 2) return mem_rich;
+      return empty;
+    }
+    PoolStatus cpu_rich, mem_rich, empty;
   } provider;
   auto inv = make_inv(5, 1);
   inv.pred_demand = {8, 2048};
