@@ -9,12 +9,15 @@
 // --smoke shrinks the sweeps for CI; with --obs / --trace-out /
 // --trace-ndjson the multi-worker run of section (d) is captured by an
 // observability session (its summary includes the per-shard decision
-// balance).
+// balance). With --json-out PATH the section (c) overhead quantiles and the
+// section (d) wall-clock / latency / utilization rows are merged into a
+// BenchArtifact (BENCH_hotpath.json in CI) for tools/bench_diff.
 #include <chrono>
 #include <iostream>
 #include <memory>
 #include <thread>
 
+#include "exp/bench_artifact.h"
 #include "exp/cli.h"
 #include "exp/digest.h"
 #include "exp/platforms.h"
@@ -89,6 +92,7 @@ int main(int argc, char** argv) {
   const std::vector<size_t> overhead_counts =
       cli.smoke ? std::vector<size_t>{200}
                 : std::vector<size_t>{200, 400, 600, 800, 1000};
+  exp::BenchArtifact artifact;
   for (size_t count : overhead_counts) {
     auto cfg = exp::jetstream_config(overhead_nodes, 4);
     cfg.measure_real_sched_overhead = true;
@@ -101,6 +105,11 @@ int main(int argc, char** argv) {
     const double p99_us = util::percentile(samples, 99) * 1e6;
     delay.add_row({std::to_string(count), Table::fmt(avg_us, 1),
                    Table::fmt(p99_us, 1), avg_us < 1000 ? "yes" : "NO"});
+    if (count == overhead_counts.back()) {
+      // ns/decision rows from the largest burst: the steady-state number.
+      artifact.add("fig12_sched_overhead_avg_ns", avg_us * 1e3, "ns");
+      artifact.add("fig12_sched_overhead_p99_ns", p99_us * 1e3, "ns");
+    }
   }
   delay.print(std::cout);
 
@@ -140,8 +149,32 @@ int main(int argc, char** argv) {
     scale.add_row({std::to_string(workers), Table::fmt(ms, 1),
                    Table::fmt(base_ms / std::max(1e-9, ms), 2) + "x",
                    exp::digest_hex(digest)});
+    artifact.add("fig12_wall_ms_workers_" + std::to_string(workers), ms,
+                 "ms");
+    if (workers == worker_sweep.back()) {
+      // Simulated-outcome integrals from the deterministic run: identical
+      // digests mean these only move when behavior changes, so bench_diff
+      // flags them at zero tolerance drift rather than runner noise.
+      artifact.add("fig12_p99_latency_s", m.p99_latency(), "s");
+      artifact.add("fig12_avg_cpu_utilization", m.avg_cpu_utilization(),
+                   "fraction", "higher");
+      artifact.add("fig12_avg_mem_utilization", m.avg_mem_utilization(),
+                   "fraction", "higher");
+      artifact.add("fig12_completion_time_s", m.workload_completion_time(),
+                   "s");
+    }
   }
   scale.print(std::cout);
+
+  if (!cli.json_out.empty()) {
+    std::string error;
+    if (!exp::merge_bench_artifact(cli.json_out, artifact, &error)) {
+      std::cerr << "bench artifact export failed: " << error << "\n";
+      return 1;
+    }
+    std::cout << "merged " << artifact.rows.size() << " perf rows into "
+              << cli.json_out << "\n";
+  }
   std::cout << "(hardware threads on this machine: "
             << std::thread::hardware_concurrency()
             << " — speedup above 1.0x requires one per worker plus the event "

@@ -5,27 +5,47 @@
 // prediction, and RF training (paper: offline training < 120 ms,
 // prediction < 2 ms).
 //
-// After the google-benchmark suite, main() runs a hard gate: the pool
-// put/get cycle with a *disabled* ObsSession attached must stay within 1% of
-// the listener-free baseline (the observability contract of DESIGN.md §5f).
+// After the google-benchmark suite, main() runs hard gates:
+//   * the pool put/get cycle with a *disabled* ObsSession attached must stay
+//     within 1% of the listener-free baseline (DESIGN.md §5f);
+//   * the §5k const-ref pool-status read must not cost more than the
+//     per-decision copy it replaced;
+//   * the §5l flat hot-path layouts must beat in-bench replicas of the
+//     pre-refactor containers they replaced: >= 2x on the pool entry walk
+//     (std::map vs sorted flat vector) and the scheduler node scan
+//     (per-node maps vs indexed vectors), >= 1.25x on the record store
+//     (unordered_map vs DenseIdMap, bounded by per-record cache traffic).
+//
+// With --json-out PATH (stripped before google-benchmark parses argv) the
+// gate measurements are merged into a BenchArtifact JSON file —
+// BENCH_hotpath.json in CI — which tools/bench_diff compares against the
+// checked-in baseline to catch perf-trajectory regressions.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <map>
 #include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "core/coverage.h"
 #include "core/harvest_pool.h"
 #include "core/pool_status.h"
 #include "core/profiler.h"
+#include "exp/bench_artifact.h"
 #include "exp/platforms.h"
 #include "exp/report.h"
 #include "exp/runner.h"
 #include "ml/forest.h"
 #include "obs/obs_config.h"
 #include "obs/obs_session.h"
+#include "sim/invocation.h"
 #include "util/rng.h"
+#include "util/dense_id_map.h"
 #include "util/stats.h"
 #include "workload/function_catalog.h"
 #include "workload/trace.h"
@@ -290,7 +310,7 @@ double best_cycle_time(core::PoolEventListener* listener, int cycles,
 /// The observability contract: a disabled ObsSession on the pool hot path
 /// costs <= 1% over no listener at all. Best-of-N timings with retries damp
 /// scheduler noise; returns true when the gate holds.
-bool check_disabled_obs_overhead() {
+bool check_disabled_obs_overhead(exp::BenchArtifact* artifact) {
   constexpr int kCycles = 200000;
   constexpr int kReps = 5;
   constexpr double kMaxRelative = 0.01;
@@ -313,6 +333,8 @@ bool check_disabled_obs_overhead() {
         attempt, base * 1e9, with_obs * 1e9, relative * 100.0);
     if (overhead <= kAbsFloorSec || relative <= kMaxRelative) {
       std::printf("disabled-obs overhead gate: PASS (<= 1%%)\n");
+      artifact->add("pool_put_get_ns", base * 1e9, "ns");
+      artifact->add("pool_put_get_disabled_obs_ns", with_obs * 1e9, "ns");
       return true;
     }
   }
@@ -342,7 +364,7 @@ double time_status_reads(const core::PoolStatus& source, int reads,
 /// The §5k hot-path contract: the const-ref PoolStatus read must never cost
 /// more than the per-decision copy it replaced (5% headroom for timer
 /// noise). Best-of-N with retries, like the disabled-obs gate.
-bool check_pool_status_ref_overhead() {
+bool check_pool_status_ref_overhead(exp::BenchArtifact* artifact) {
   constexpr int kReads = 100000;
   constexpr int kReps = 5;
   constexpr double kHeadroom = 1.05;
@@ -359,6 +381,8 @@ bool check_pool_status_ref_overhead() {
         attempt, best_copy * 1e9, best_ref * 1e9);
     if (best_ref <= best_copy * kHeadroom) {
       std::printf("pool-status ref-read gate: PASS (ref <= copy)\n");
+      artifact->add("pool_status_copy_read_ns", best_copy * 1e9, "ns");
+      artifact->add("pool_status_ref_read_ns", best_ref * 1e9, "ns");
       return true;
     }
   }
@@ -367,14 +391,330 @@ bool check_pool_status_ref_overhead() {
   return false;
 }
 
+// ---- §5l flat hot-path gates -------------------------------------------
+//
+// Both gates race an in-bench replica of the PRE-refactor container choice
+// against the layout the hot path uses now, on the real access pattern.
+// Measuring both sides in the same process makes the >= 2x requirement
+// robust to runner speed; the absolute numbers additionally land in the
+// BenchArtifact so bench_diff can track the trajectory across commits.
+
+/// The engine's record-store access pattern: each invocation is inserted
+/// once, looked up many times across its lifecycle events (admit, predict
+/// enqueue + commit, schedule, pool step, container start, monitor ticks,
+/// progress folds, completion, finalize), and the usage-integral refresh
+/// periodically sweeps every live record (ClusterState::refresh_usage);
+/// then the record is erased — a bounded live window sliding over a
+/// monotone id space. A fig-12-sized burst keeps a few thousand records
+/// live at once.
+constexpr int64_t kStoreInFlight = 2048;
+constexpr int kStoreLookupsPerCycle = 12;
+constexpr int64_t kStoreSweepEvery = 128;
+
+/// Seconds per lifecycle cycle on the pre-refactor store: the
+/// node-per-entry std::unordered_map the engine kept before DenseIdMap.
+double time_legacy_store_cycles(int cycles) {
+  std::unordered_map<int64_t, sim::Invocation> store;
+  double acc = 0.0;
+  const auto start = std::chrono::steady_clock::now();
+  for (int64_t id = 0; id < cycles; ++id) {
+    sim::Invocation inv;
+    inv.id = id;
+    store.emplace(id, std::move(inv));
+    const int64_t lo = id >= kStoreInFlight ? id - kStoreInFlight + 1 : 0;
+    const int64_t span = id - lo + 1;
+    for (int k = 0; k < kStoreLookupsPerCycle; ++k) {
+      // Lifecycle events cluster in time: most touches hit a recently
+      // admitted record (admit, predict, schedule, start fire close
+      // together); monitor folds occasionally revisit an old one.
+      int64_t target = k % 4 != 3 ? id - (k * 5) % 64 : lo + (k * 37) % span;
+      if (target < lo) target = id;
+      auto it = store.find(target);
+      if (it != store.end()) acc += it->second.arrival;
+    }
+    if (id % kStoreSweepEvery == 0)
+      for (const auto& [key, rec] : store) acc += rec.progress;
+    if (id >= kStoreInFlight) store.erase(id - kStoreInFlight);
+  }
+  benchmark::DoNotOptimize(acc);
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(stop - start).count() / cycles;
+}
+
+/// Same cycle on the flat store the engine uses now (util::DenseIdMap:
+/// dense index, slot recycling, value-buffer reuse).
+double time_flat_store_cycles(int cycles) {
+  util::DenseIdMap<int64_t, sim::Invocation> store;
+  double acc = 0.0;
+  const auto start = std::chrono::steady_clock::now();
+  for (int64_t id = 0; id < cycles; ++id) {
+    sim::Invocation inv;
+    inv.id = id;
+    store.insert(id, std::move(inv));
+    const int64_t lo = id >= kStoreInFlight ? id - kStoreInFlight + 1 : 0;
+    const int64_t span = id - lo + 1;
+    for (int k = 0; k < kStoreLookupsPerCycle; ++k) {
+      int64_t target = k % 4 != 3 ? id - (k * 5) % 64 : lo + (k * 37) % span;
+      if (target < lo) target = id;
+      const sim::Invocation* hit = store.find(target);
+      if (hit) acc += hit->arrival;
+    }
+    if (id % kStoreSweepEvery == 0)
+      store.for_each(
+          [&acc](int64_t, const sim::Invocation& rec) { acc += rec.progress; });
+    if (id >= kStoreInFlight) store.erase(id - kStoreInFlight);
+  }
+  benchmark::DoNotOptimize(acc);
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(stop - start).count() / cycles;
+}
+
+/// Regression guard: the DenseIdMap record store must be clearly faster
+/// than the unordered_map layout it replaced on the engine's lookup-heavy
+/// lifecycle pattern. The honest margin here is ~1.6-1.8x — the ~400-byte
+/// Invocation spans several cache lines, so per-record memory traffic that
+/// no layout removes bounds the win; the >= 2x acceptance rows are the
+/// pool entry walk and the scheduler node scan below, whose records are
+/// cache-line sized.
+bool check_flat_record_store_speedup(exp::BenchArtifact* artifact) {
+  constexpr int kCycles = 200000;
+  constexpr int kReps = 5;
+  constexpr double kMinSpeedup = 1.25;
+  for (int attempt = 1; attempt <= 3; ++attempt) {
+    double best_legacy = 1e300, best_flat = 1e300;
+    for (int r = 0; r < kReps; ++r) {
+      best_legacy = std::min(best_legacy, time_legacy_store_cycles(kCycles));
+      best_flat = std::min(best_flat, time_flat_store_cycles(kCycles));
+    }
+    const double speedup = best_legacy / best_flat;
+    std::printf(
+        "flat record-store gate (attempt %d): unordered_map %.1f ns/cycle, "
+        "DenseIdMap %.1f ns/cycle, speedup %.2fx\n",
+        attempt, best_legacy * 1e9, best_flat * 1e9, speedup);
+    if (speedup >= kMinSpeedup) {
+      std::printf("flat record-store gate: PASS (>= 1.25x)\n");
+      artifact->add("record_store_legacy_map_ns", best_legacy * 1e9, "ns");
+      artifact->add("record_store_flat_ns", best_flat * 1e9, "ns");
+      artifact->add("record_store_speedup_x", speedup, "ratio", "higher");
+      return true;
+    }
+  }
+  std::printf("flat record-store gate: FAIL (DenseIdMap < 1.25x over the "
+              "unordered_map it replaced)\n");
+  return false;
+}
+
+// Scheduler node-scan replica: every scheduling decision scores all nodes,
+// reading the per-node pool snapshot and cluster usage entry. Before §5l
+// LibraPolicy kept both in per-node maps, and FP determinism forced ordered
+// access — the decision loop walked node ids in ascending order and paid a
+// map lookup per node. The flat layout indexes a vector with the node id.
+struct BenchNodeSnapshot {
+  sim::Resources idle;
+  sim::Resources free_cap;
+  double est_expiry = 0.0;
+  int running = 0;
+};
+
+constexpr int kScanNodes = 50;
+
+double time_node_scan_legacy(int decisions) {
+  std::unordered_map<int, BenchNodeSnapshot> snapshots;
+  std::unordered_map<int, sim::Resources> usage;
+  for (int n = 0; n < kScanNodes; ++n) {
+    snapshots.emplace(n, BenchNodeSnapshot{{1.0 + n % 3, 64.0 * (n % 5)},
+                                           {24.0, 24576.0},
+                                           10.0 + n * 0.37,
+                                           n % 7});
+    usage.emplace(n, sim::Resources{0.5 * (n % 4), 128.0 * (n % 3)});
+  }
+  double acc = 0.0;
+  const auto start = std::chrono::steady_clock::now();
+  for (int d = 0; d < decisions; ++d) {
+    // Ascending node order (the determinism discipline), one lookup per map
+    // per node — the pre-refactor decision scan.
+    for (int n = 0; n < kScanNodes; ++n) {
+      const BenchNodeSnapshot& snap = snapshots.at(n);
+      const sim::Resources& used = usage.at(n);
+      acc += snap.idle.cpu + snap.free_cap.cpu - used.cpu +
+             snap.est_expiry * 1e-3 + snap.running;
+    }
+  }
+  benchmark::DoNotOptimize(acc);
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(stop - start).count() / decisions;
+}
+
+double time_node_scan_flat(int decisions) {
+  std::vector<BenchNodeSnapshot> snapshots;
+  std::vector<sim::Resources> usage;
+  for (int n = 0; n < kScanNodes; ++n) {
+    snapshots.push_back(BenchNodeSnapshot{{1.0 + n % 3, 64.0 * (n % 5)},
+                                          {24.0, 24576.0},
+                                          10.0 + n * 0.37,
+                                          n % 7});
+    usage.push_back(sim::Resources{0.5 * (n % 4), 128.0 * (n % 3)});
+  }
+  double acc = 0.0;
+  const auto start = std::chrono::steady_clock::now();
+  for (int d = 0; d < decisions; ++d) {
+    // Index order IS ascending node order: determinism for free.
+    for (int n = 0; n < kScanNodes; ++n) {
+      const BenchNodeSnapshot& snap = snapshots[static_cast<size_t>(n)];
+      const sim::Resources& used = usage[static_cast<size_t>(n)];
+      acc += snap.idle.cpu + snap.free_cap.cpu - used.cpu +
+             snap.est_expiry * 1e-3 + snap.running;
+    }
+  }
+  benchmark::DoNotOptimize(acc);
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(stop - start).count() / decisions;
+}
+
+/// ISSUE-10 acceptance gate (scheduler row): the node-indexed vector scan
+/// must be >= 2x faster per decision than the per-node map lookups it
+/// replaced.
+bool check_flat_node_scan_speedup(exp::BenchArtifact* artifact) {
+  constexpr int kDecisions = 100000;
+  constexpr int kReps = 5;
+  constexpr double kMinSpeedup = 2.0;
+  for (int attempt = 1; attempt <= 3; ++attempt) {
+    double best_legacy = 1e300, best_flat = 1e300;
+    for (int r = 0; r < kReps; ++r) {
+      best_legacy = std::min(best_legacy, time_node_scan_legacy(kDecisions));
+      best_flat = std::min(best_flat, time_node_scan_flat(kDecisions));
+    }
+    const double speedup = best_legacy / best_flat;
+    std::printf(
+        "flat node-scan gate (attempt %d): per-node maps %.1f ns/decision, "
+        "indexed vectors %.1f ns/decision (%d nodes), speedup %.2fx\n",
+        attempt, best_legacy * 1e9, best_flat * 1e9, kScanNodes, speedup);
+    if (speedup >= kMinSpeedup) {
+      std::printf("flat node-scan gate: PASS (>= 2x)\n");
+      artifact->add("sched_node_scan_legacy_map_ns", best_legacy * 1e9, "ns");
+      artifact->add("sched_node_scan_flat_ns", best_flat * 1e9, "ns");
+      artifact->add("sched_node_scan_speedup_x", speedup, "ratio", "higher");
+      return true;
+    }
+  }
+  std::printf("flat node-scan gate: FAIL (indexed scan < 2x over the "
+              "per-node map lookups it replaced)\n");
+  return false;
+}
+
+/// Pool-entry table replica: what the per-decision idle sweep reads. The
+/// legacy side is the node-per-entry std::map HarvestResourcePool kept
+/// before §5l; the flat side is the sorted vector it uses now.
+struct BenchPoolEntry {
+  int64_t source = 0;
+  sim::Resources idle;
+  double est_expiry = 0.0;
+  sim::Resources harvested;
+};
+
+constexpr int kWalkEntries = 256;
+
+double time_entry_walk_legacy(int walks) {
+  std::map<int64_t, BenchPoolEntry> entries;
+  for (int i = 0; i < kWalkEntries; ++i)
+    entries.emplace(i, BenchPoolEntry{i, {1.0 + i % 3, 64.0 * (i % 5)},
+                                      10.0 + i * 0.37, {0.5, 32.0}});
+  double acc = 0.0;
+  const auto start = std::chrono::steady_clock::now();
+  for (int w = 0; w < walks; ++w) {
+    for (const auto& [source, entry] : entries)
+      acc += entry.idle.cpu + entry.idle.mem + entry.est_expiry;
+  }
+  benchmark::DoNotOptimize(acc);
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(stop - start).count() / walks;
+}
+
+double time_entry_walk_flat(int walks) {
+  std::vector<BenchPoolEntry> entries;
+  for (int i = 0; i < kWalkEntries; ++i)
+    entries.push_back(BenchPoolEntry{i, {1.0 + i % 3, 64.0 * (i % 5)},
+                                     10.0 + i * 0.37, {0.5, 32.0}});
+  double acc = 0.0;
+  const auto start = std::chrono::steady_clock::now();
+  for (int w = 0; w < walks; ++w) {
+    for (const BenchPoolEntry& entry : entries)
+      acc += entry.idle.cpu + entry.idle.mem + entry.est_expiry;
+  }
+  benchmark::DoNotOptimize(acc);
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(stop - start).count() / walks;
+}
+
+/// ISSUE-10 acceptance gate: the flat pool-entry walk (the body of every
+/// idle_total / snapshot / coverage sweep, once per scheduling decision)
+/// must be >= 2x faster than the std::map walk it replaced.
+bool check_flat_entry_walk_speedup(exp::BenchArtifact* artifact) {
+  constexpr int kWalks = 50000;
+  constexpr int kReps = 5;
+  constexpr double kMinSpeedup = 2.0;
+  for (int attempt = 1; attempt <= 3; ++attempt) {
+    double best_legacy = 1e300, best_flat = 1e300;
+    for (int r = 0; r < kReps; ++r) {
+      best_legacy = std::min(best_legacy, time_entry_walk_legacy(kWalks));
+      best_flat = std::min(best_flat, time_entry_walk_flat(kWalks));
+    }
+    const double speedup = best_legacy / best_flat;
+    std::printf(
+        "flat entry-walk gate (attempt %d): std::map %.1f ns/walk, flat "
+        "vector %.1f ns/walk (%d entries), speedup %.2fx\n",
+        attempt, best_legacy * 1e9, best_flat * 1e9, kWalkEntries, speedup);
+    if (speedup >= kMinSpeedup) {
+      std::printf("flat entry-walk gate: PASS (>= 2x)\n");
+      artifact->add("pool_entry_walk_legacy_map_ns", best_legacy * 1e9, "ns");
+      artifact->add("pool_entry_walk_flat_ns", best_flat * 1e9, "ns");
+      artifact->add("pool_entry_walk_speedup_x", speedup, "ratio", "higher");
+      return true;
+    }
+  }
+  std::printf("flat entry-walk gate: FAIL (flat walk < 2x over the std::map "
+              "walk it replaced)\n");
+  return false;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  // --json-out is ours, not google-benchmark's: strip it from argv before
+  // Initialize so ReportUnrecognizedArguments doesn't reject it.
+  std::string json_out;
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json-out") == 0 && i + 1 < argc) {
+      json_out = argv[++i];
+    } else if (std::strncmp(argv[i], "--json-out=", 11) == 0) {
+      json_out = argv[i] + 11;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data()))
+    return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  const bool obs_ok = check_disabled_obs_overhead();
-  const bool ref_ok = check_pool_status_ref_overhead();
-  return obs_ok && ref_ok ? 0 : 1;
+  exp::BenchArtifact artifact;
+  const bool obs_ok = check_disabled_obs_overhead(&artifact);
+  const bool ref_ok = check_pool_status_ref_overhead(&artifact);
+  const bool store_ok = check_flat_record_store_speedup(&artifact);
+  const bool walk_ok = check_flat_entry_walk_speedup(&artifact);
+  const bool scan_ok = check_flat_node_scan_speedup(&artifact);
+  if (!json_out.empty()) {
+    std::string error;
+    if (!exp::merge_bench_artifact(json_out, artifact, &error)) {
+      std::fprintf(stderr, "bench artifact export failed: %s\n",
+                   error.c_str());
+      return 1;
+    }
+    std::printf("merged %zu perf rows into %s\n", artifact.rows.size(),
+                json_out.c_str());
+  }
+  return obs_ok && ref_ok && store_ok && walk_ok && scan_ok ? 0 : 1;
 }

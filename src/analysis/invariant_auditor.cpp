@@ -103,10 +103,17 @@ void InvariantAuditor::check_recycle(sim::EngineApi& api, InvocationId id,
                                    << id
                                    << " still holds a node reservation");
   }
+  // A recycled record must not leave a ghost contribution in the cluster's
+  // live-usage sums: every terminal path refreshes usage with stopping=true
+  // before the record is finalized.
+  LIBRA_AUDIT_CHECK(!api.invocation(id).usage_contrib_present,
+                    "recycle: invocation "
+                        << id
+                        << " still contributes to the cluster usage sums");
   if (!policy_) return;
-  // LIBRA_LINT_ALLOW(unordered-iteration): audit-only sweep — every pool gets the same order-independent check, and a violation aborts
+  // Ascending node order by construction (flat pool table).
   for (const auto& [node_id, pool] : policy_->pools_for_audit()) {
-    const auto st = pool.debug_state();
+    const auto st = pool->debug_state();
     for (const auto& b : st.borrows) {
       LIBRA_AUDIT_CHECK(b.source != id && b.borrower != id,
                         "recycle: invocation "
@@ -120,6 +127,16 @@ void InvariantAuditor::check_recycle(sim::EngineApi& api, InvocationId id,
                             << id << " still owns a pool entry on node "
                             << node_id);
     }
+  }
+  // Bookkeeping boundedness: the policy's per-invocation stash must have
+  // dropped this id on finalize (the pre-§5l leak kept raw predictions of
+  // lost invocations forever).
+  for (const InvocationId stashed : policy_->raw_pred_ids_for_audit()) {
+    LIBRA_AUDIT_CHECK(stashed != id,
+                      "recycle: invocation "
+                          << id
+                          << " still stashed in the policy's raw-prediction "
+                             "bookkeeping");
   }
 }
 
@@ -168,11 +185,22 @@ void InvariantAuditor::sweep(sim::EngineApi& api, const char* what) const {
 
   if (!policy_) return;
 
+  // ---- Bookkeeping boundedness: every stashed raw prediction must belong
+  // to a live invocation (terminal records drop theirs via on_finalized), so
+  // the stash can never outgrow the live set. ----
+  for (const InvocationId stashed : policy_->raw_pred_ids_for_audit()) {
+    LIBRA_AUDIT_CHECK(api.invocation_alive(stashed),
+                      "after " << what << ": policy raw-prediction stash holds "
+                               << "invocation " << stashed
+                               << " which is completed or gone — bookkeeping "
+                                  "must stay bounded by the live set");
+  }
+
   // ---- Pool sweeps: conservation + grant liveness + down-node emptiness ----
-  // LIBRA_LINT_ALLOW(unordered-iteration): audit-only sweep — every pool gets the same order-independent check, and a violation aborts
+  // Ascending node order by construction (flat pool table).
   for (const auto& [node_id, pool] : policy_->pools_for_audit()) {
-    check_pool_conservation(pool, what);
-    const auto st = pool.debug_state();
+    check_pool_conservation(*pool, what);
+    const auto st = pool->debug_state();
     for (const auto& b : st.borrows) {
       LIBRA_AUDIT_CHECK(
           api.invocation_alive(b.source) && !api.invocation(b.source).done,

@@ -40,32 +40,129 @@ void HarvestResourcePool::accrue_idle_locked(SimTime now) const {
 
 Resources HarvestResourcePool::idle_total_locked() const {
   Resources total;
-  for (const auto& [id, entry] : entries_) total += entry.idle;
+  for (const auto& entry : entries_) total += entry.idle;
   return total;
 }
 
+HarvestResourcePool::Entry* HarvestResourcePool::find_entry_locked(
+    InvocationId source) {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), source,
+      [](const Entry& e, InvocationId id) { return e.source < id; });
+  return it != entries_.end() && it->source == source ? &*it : nullptr;
+}
+
+const HarvestResourcePool::Entry* HarvestResourcePool::find_entry_locked(
+    InvocationId source) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), source,
+      [](const Entry& e, InvocationId id) { return e.source < id; });
+  return it != entries_.end() && it->source == source ? &*it : nullptr;
+}
+
+HarvestResourcePool::Entry& HarvestResourcePool::entry_for_locked(
+    InvocationId source) {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), source,
+      [](const Entry& e, InvocationId id) { return e.source < id; });
+  if (it != entries_.end() && it->source == source) return *it;
+  Entry fresh;
+  fresh.source = source;
+  return *entries_.insert(it, fresh);
+}
+
+void HarvestResourcePool::append_borrow_locked(Entry& entry,
+                                               InvocationId borrower,
+                                               const Resources& amount,
+                                               int tenant) {
+  int32_t idx;
+  if (!borrow_free_.empty()) {
+    idx = borrow_free_.back();
+    borrow_free_.pop_back();
+  } else {
+    idx = static_cast<int32_t>(borrow_slab_.size());
+    borrow_slab_.emplace_back();
+  }
+  BorrowRecord& r = borrow_slab_[static_cast<size_t>(idx)];
+  r.source = entry.source;
+  r.borrower = borrower;
+  r.amount = amount;
+  r.est_expiry = entry.est_expiry;
+  r.tenant = tenant;
+  r.live = true;
+  // Tail-append on the global order list: iteration order == insertion
+  // order, exactly the legacy vector's semantics the FP audits depend on.
+  r.prev_order = borrow_tail_;
+  r.next_order = -1;
+  if (borrow_tail_ != -1)
+    borrow_slab_[static_cast<size_t>(borrow_tail_)].next_order = idx;
+  else
+    borrow_head_ = idx;
+  borrow_tail_ = idx;
+  // Tail-append on the source's grant chain, same per-source order.
+  r.prev_src = entry.grants_tail;
+  r.next_src = -1;
+  if (entry.grants_tail != -1)
+    borrow_slab_[static_cast<size_t>(entry.grants_tail)].next_src = idx;
+  else
+    entry.grants_head = idx;
+  entry.grants_tail = idx;
+  ++borrow_count_;
+}
+
+void HarvestResourcePool::unlink_order_locked(int32_t idx) {
+  BorrowRecord& r = borrow_slab_[static_cast<size_t>(idx)];
+  if (r.prev_order != -1)
+    borrow_slab_[static_cast<size_t>(r.prev_order)].next_order = r.next_order;
+  else
+    borrow_head_ = r.next_order;
+  if (r.next_order != -1)
+    borrow_slab_[static_cast<size_t>(r.next_order)].prev_order = r.prev_order;
+  else
+    borrow_tail_ = r.prev_order;
+  r.live = false;
+  r.prev_order = r.next_order = r.prev_src = r.next_src = -1;
+  borrow_free_.push_back(idx);
+  --borrow_count_;
+}
+
+void HarvestResourcePool::unlink_src_locked(Entry& entry, int32_t idx) {
+  BorrowRecord& r = borrow_slab_[static_cast<size_t>(idx)];
+  if (r.prev_src != -1)
+    borrow_slab_[static_cast<size_t>(r.prev_src)].next_src = r.next_src;
+  else
+    entry.grants_head = r.next_src;
+  if (r.next_src != -1)
+    borrow_slab_[static_cast<size_t>(r.next_src)].prev_src = r.prev_src;
+  else
+    entry.grants_tail = r.prev_src;
+}
+
 void HarvestResourcePool::audit_invariants_locked(SimTime now) const {
-  // Per-source outstanding grant totals.
+  // Per-source outstanding grant totals, accumulated in the global
+  // insertion-order walk (the legacy borrows_ vector's order).
   std::map<InvocationId, Resources> borrowed;
-  for (const auto& r : borrows_) {
+  for (int32_t idx = borrow_head_; idx != -1;
+       idx = borrow_slab_[static_cast<size_t>(idx)].next_order) {
+    const BorrowRecord& r = borrow_slab_[static_cast<size_t>(idx)];
     LIBRA_AUDIT_CHECK(r.amount.cpu >= -1e-9 && r.amount.mem >= -1e-9,
                       "negative borrow amount: source=" << r.source
                           << " borrower=" << r.borrower << " amount="
                           << r.amount.to_string() << " now=" << now);
-    auto it = entries_.find(r.source);
-    LIBRA_AUDIT_CHECK(it != entries_.end(),
+    const Entry* entry = find_entry_locked(r.source);
+    LIBRA_AUDIT_CHECK(entry != nullptr,
                       "borrow references a released source: source="
                           << r.source << " borrower=" << r.borrower
                           << " amount=" << r.amount.to_string()
                           << " now=" << now);
-    if (it != entries_.end()) {
+    if (entry != nullptr) {
       // put() only ever raises an entry's expiry, so a grant's recorded
       // expiry can never exceed its source entry's current one.
-      LIBRA_AUDIT_CHECK(r.est_expiry <= it->second.est_expiry + 1e-9,
+      LIBRA_AUDIT_CHECK(r.est_expiry <= entry->est_expiry + 1e-9,
                         "borrow expiry exceeds source expiry: source="
                             << r.source << " borrower=" << r.borrower
                             << " borrow_expiry=" << r.est_expiry
-                            << " entry_expiry=" << it->second.est_expiry);
+                            << " entry_expiry=" << entry->est_expiry);
     }
     borrowed[r.source] += r.amount;
   }
@@ -73,7 +170,11 @@ void HarvestResourcePool::audit_invariants_locked(SimTime now) const {
   // its registered cap (per axis; tenants without a quota are unrestricted).
   if (!tenant_quotas_.empty()) {
     std::map<int, Resources> per_tenant;
-    for (const auto& r : borrows_) per_tenant[r.tenant] += r.amount;
+    for (int32_t idx = borrow_head_; idx != -1;
+         idx = borrow_slab_[static_cast<size_t>(idx)].next_order) {
+      const BorrowRecord& r = borrow_slab_[static_cast<size_t>(idx)];
+      per_tenant[r.tenant] += r.amount;
+    }
     for (const auto& [tenant, outstanding] : per_tenant) {
       auto q = tenant_quotas_.find(tenant);
       if (q == tenant_quotas_.end()) continue;
@@ -86,18 +187,20 @@ void HarvestResourcePool::audit_invariants_locked(SimTime now) const {
     }
   }
   // Conservation per source: idle + outstanding grants == harvested volume.
-  for (const auto& [source, entry] : entries_) {
+  // Entry order is ascending source id by construction (sorted vector).
+  for (const auto& entry : entries_) {
     LIBRA_AUDIT_CHECK(entry.idle.cpu >= -1e-9 && entry.idle.mem >= -1e-9,
-                      "negative idle volume: source=" << source << " idle="
-                          << entry.idle.to_string() << " now=" << now);
-    const Resources outstanding = entry.idle + borrowed[source];
+                      "negative idle volume: source=" << entry.source
+                          << " idle=" << entry.idle.to_string()
+                          << " now=" << now);
+    const Resources outstanding = entry.idle + borrowed[entry.source];
     LIBRA_AUDIT_CHECK(
         near(outstanding, entry.harvested),
         "conservation violated: source="
-            << source << " idle=" << entry.idle.to_string() << " borrowed="
-            << borrowed[source].to_string() << " harvested="
-            << entry.harvested.to_string() << " expiry=" << entry.est_expiry
-            << " now=" << now);
+            << entry.source << " idle=" << entry.idle.to_string()
+            << " borrowed=" << borrowed[entry.source].to_string()
+            << " harvested=" << entry.harvested.to_string()
+            << " expiry=" << entry.est_expiry << " now=" << now);
   }
 }
 
@@ -119,7 +222,7 @@ void HarvestResourcePool::put(InvocationId source, const Resources& volume,
   {
     util::MutexLock lock(mu_);
     accrue_idle_locked(now);
-    auto& entry = entries_[source];
+    Entry& entry = entry_for_locked(source);
     entry.idle += volume;
     entry.harvested += volume;
     entry.est_expiry = std::max(entry.est_expiry, est_completion);
@@ -138,14 +241,18 @@ std::vector<HarvestResourcePool::Grant> HarvestResourcePool::get(
 
     // Candidate ordering: timeliness-aware mode lends the longest-lived
     // resources first ("prioritizes harvested resources that can potentially
-    // be utilized longer"); the blind mode walks entries in id order.
-    std::vector<std::map<InvocationId, Entry>::iterator> order;
-    for (auto it = entries_.begin(); it != entries_.end(); ++it)
-      order.push_back(it);
+    // be utilized longer"); the blind mode walks entries in id order — which
+    // is simply the sorted vector's index order. The (expiry, index) keys
+    // are copied out so the comparator never touches guarded state.
+    std::vector<std::pair<double, size_t>> order;
+    order.reserve(entries_.size());
+    for (size_t i = 0; i < entries_.size(); ++i)
+      order.emplace_back(entries_[i].est_expiry, i);
     if (opt.timeliness_order) {
       std::stable_sort(order.begin(), order.end(),
-                       [](const auto& a, const auto& b) {
-                         return a->second.est_expiry > b->second.est_expiry;
+                       [](const std::pair<double, size_t>& a,
+                          const std::pair<double, size_t>& b) {
+                         return a.first > b.first;
                        });
     }
 
@@ -162,9 +269,10 @@ std::vector<HarvestResourcePool::Grant> HarvestResourcePool::get(
         remaining = Resources::min(remaining, room);
       }
     }
-    for (auto& it : order) {
+    for (const auto& [expiry, i] : order) {
+      (void)expiry;  // sort key only
       if (remaining.is_zero()) break;
-      Entry& entry = it->second;
+      Entry& entry = entries_[i];
       // Entries past their *estimated* expiry are still valid — the estimate
       // only orders priorities; actual release happens at source completion.
       // Timeliness ordering already places them last.
@@ -177,9 +285,8 @@ std::vector<HarvestResourcePool::Grant> HarvestResourcePool::get(
       entry.idle -= take;
       remaining -= take;
       remaining = remaining.clamped_non_negative();
-      grants.push_back({it->first, take, entry.est_expiry});
-      borrows_.push_back(
-          {it->first, borrower, take, entry.est_expiry, opt.tenant});
+      grants.push_back({entry.source, take, entry.est_expiry});
+      append_borrow_locked(entry, borrower, take, opt.tenant);
     }
     // Timeliness ordering promises longest-lived-first grants (§5.1); the
     // sort above must survive refactors, so the promise is audited here.
@@ -206,19 +313,25 @@ HarvestResourcePool::preempt_source(InvocationId source, SimTime now) {
   {
     util::MutexLock lock(mu_);
     accrue_idle_locked(now);
-    entries_.erase(source);
-    // Aggregate outstanding grants per borrower, then drop the records.
-    std::map<InvocationId, Resources> per_borrower;
-    auto keep_end = std::remove_if(
-        borrows_.begin(), borrows_.end(), [&](const BorrowRecord& r) {
-          if (r.source != source) return false;
-          per_borrower[r.borrower] += r.amount;
-          return true;
-        });
-    borrows_.erase(keep_end, borrows_.end());
-    out.reserve(per_borrower.size());
-    for (const auto& [borrower, amount] : per_borrower)
-      out.push_back({borrower, amount});
+    Entry* entry = find_entry_locked(source);
+    if (entry != nullptr) {
+      // Aggregate outstanding grants per borrower via the source's grant
+      // chain (chain order == the records' insertion order, so the FP sums
+      // match the legacy full-vector filter walk), then drop the records.
+      std::map<InvocationId, Resources> per_borrower;
+      int32_t idx = entry->grants_head;
+      while (idx != -1) {
+        const BorrowRecord& r = borrow_slab_[static_cast<size_t>(idx)];
+        const int32_t next = r.next_src;
+        per_borrower[r.borrower] += r.amount;
+        unlink_order_locked(idx);  // chain dies with the entry below
+        idx = next;
+      }
+      entries_.erase(entries_.begin() + (entry - entries_.data()));
+      out.reserve(per_borrower.size());
+      for (const auto& [borrower, amount] : per_borrower)
+        out.push_back({borrower, amount});
+    }
     audit_invariants_locked(now);
   }
   notify(PoolOp::kPreemptSource, source, now);
@@ -229,18 +342,23 @@ void HarvestResourcePool::reharvest(InvocationId borrower, SimTime now) {
   {
     util::MutexLock lock(mu_);
     accrue_idle_locked(now);
-    auto keep_end = std::remove_if(
-        borrows_.begin(), borrows_.end(), [&](const BorrowRecord& r) {
-          if (r.borrower != borrower) return false;
-          auto it = entries_.find(r.source);
-          if (it != entries_.end()) {
-            // Source is still running: the volume re-enters the pool at its
-            // original priority.
-            it->second.idle += r.amount;
-          }
-          return true;
-        });
-    borrows_.erase(keep_end, borrows_.end());
+    // Global order-list walk — same insertion-order sequence as the legacy
+    // remove_if over the borrows vector.
+    int32_t idx = borrow_head_;
+    while (idx != -1) {
+      BorrowRecord& r = borrow_slab_[static_cast<size_t>(idx)];
+      const int32_t next = r.next_order;
+      if (r.borrower == borrower) {
+        if (Entry* entry = find_entry_locked(r.source)) {
+          // Source is still running: the volume re-enters the pool at its
+          // original priority.
+          entry->idle += r.amount;
+          unlink_src_locked(*entry, idx);
+        }
+        unlink_order_locked(idx);
+      }
+      idx = next;
+    }
     audit_invariants_locked(now);
   }
   notify(PoolOp::kReharvest, borrower, now);
@@ -254,8 +372,15 @@ std::vector<HarvestResourcePool::Revocation> HarvestResourcePool::preempt_all(
     accrue_idle_locked(now);
     entries_.clear();
     std::map<InvocationId, Resources> per_borrower;
-    for (const auto& r : borrows_) per_borrower[r.borrower] += r.amount;
-    borrows_.clear();
+    for (int32_t idx = borrow_head_; idx != -1;
+         idx = borrow_slab_[static_cast<size_t>(idx)].next_order) {
+      const BorrowRecord& r = borrow_slab_[static_cast<size_t>(idx)];
+      per_borrower[r.borrower] += r.amount;
+    }
+    borrow_slab_.clear();
+    borrow_free_.clear();
+    borrow_head_ = borrow_tail_ = -1;
+    borrow_count_ = 0;
     out.reserve(per_borrower.size());
     for (const auto& [borrower, amount] : per_borrower)
       out.push_back({borrower, amount});
@@ -267,7 +392,7 @@ std::vector<HarvestResourcePool::Revocation> HarvestResourcePool::preempt_all(
 
 size_t HarvestResourcePool::outstanding_borrows() const {
   util::MutexLock lock(mu_);
-  return borrows_.size();
+  return borrow_count_;
 }
 
 PoolStatus HarvestResourcePool::snapshot(SimTime now) const {
@@ -277,7 +402,7 @@ PoolStatus HarvestResourcePool::snapshot(SimTime now) const {
   accrue_idle_locked(now);
   PoolStatus status;
   status.taken_at = now;
-  for (const auto& [id, entry] : entries_) {
+  for (const auto& entry : entries_) {
     if (entry.idle.is_zero()) continue;
     status.entries.push_back({entry.idle, entry.est_expiry});
   }
@@ -317,13 +442,18 @@ HarvestResourcePool::DebugState HarvestResourcePool::debug_state() const {
   util::MutexLock lock(mu_);
   DebugState state;
   state.entries.reserve(entries_.size());
-  for (const auto& [source, entry] : entries_)
+  for (const auto& entry : entries_)
     state.entries.push_back(
-        {source, entry.idle, entry.est_expiry, entry.harvested});
-  state.borrows.reserve(borrows_.size());
-  for (const auto& r : borrows_)
+        {entry.source, entry.idle, entry.est_expiry, entry.harvested});
+  state.borrows.reserve(borrow_count_);
+  // Global insertion-order list == the legacy vector's order, so debug dumps
+  // and audits see grants in the same sequence as before the flat layout.
+  for (int32_t idx = borrow_head_; idx != -1;
+       idx = borrow_slab_[static_cast<size_t>(idx)].next_order) {
+    const BorrowRecord& r = borrow_slab_[static_cast<size_t>(idx)];
     state.borrows.push_back(
         {r.source, r.borrower, r.amount, r.est_expiry, r.tenant});
+  }
   state.tenant_quotas = tenant_quotas_;
   state.idle_cpu_secs = idle_cpu_secs_;
   state.idle_mem_secs = idle_mem_secs_;
@@ -339,8 +469,11 @@ void HarvestResourcePool::audit_now(SimTime now) const {
 
 Resources HarvestResourcePool::tenant_outstanding_locked(int tenant) const {
   Resources outstanding;
-  for (const auto& r : borrows_)
+  for (int32_t idx = borrow_head_; idx != -1;
+       idx = borrow_slab_[static_cast<size_t>(idx)].next_order) {
+    const BorrowRecord& r = borrow_slab_[static_cast<size_t>(idx)];
     if (r.tenant == tenant) outstanding += r.amount;
+  }
   return outstanding;
 }
 
@@ -357,7 +490,8 @@ Resources HarvestResourcePool::tenant_outstanding(int tenant) const {
 void HarvestResourcePool::corrupt_for_audit_test(InvocationId source,
                                                  const Resources& delta) {
   util::MutexLock lock(mu_);
-  entries_[source].idle += delta;  // deliberately skips the harvested ledger
+  entry_for_locked(source).idle +=
+      delta;  // deliberately skips the harvested ledger
 }
 
 void HarvestResourcePool::corrupt_tenant_for_audit_test(
@@ -367,9 +501,9 @@ void HarvestResourcePool::corrupt_tenant_for_audit_test(
   // Harvested ledger bumped in lockstep with the fabricated borrow record:
   // conservation still holds, so the per-tenant quota audit is the check
   // that fires on the next sweep.
-  auto& entry = entries_[source];
+  Entry& entry = entry_for_locked(source);
   entry.harvested += delta;
-  borrows_.push_back({source, borrower, delta, entry.est_expiry, tenant});
+  append_borrow_locked(entry, borrower, delta, tenant);
 }
 
 }  // namespace libra::core

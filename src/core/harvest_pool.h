@@ -26,6 +26,7 @@
 // run its own checks against debug_state().
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <vector>
 
@@ -148,6 +149,7 @@ class HarvestResourcePool {
     std::vector<DebugEntry> entries;
     std::vector<DebugBorrow> borrows;
     /// Registered per-tenant caps (empty when quotas are unused).
+    // LIBRA_LINT_ALLOW(flat-hot-path): debug/audit snapshot copied under the lock, never on the decision path
     std::map<int, sim::Resources> tenant_quotas;
     double idle_cpu_secs = 0.0;
     double idle_mem_secs = 0.0;
@@ -201,12 +203,26 @@ class HarvestResourcePool {
       LIBRA_EXCLUDES(mu_);
 
  private:
+  // Flat hot-path layout (§5l). Source entries live in ONE vector kept
+  // sorted by source id — the legacy std::map's iteration order — so every
+  // walk (idle totals, audits, snapshots) is a linear scan over contiguous
+  // memory and the floating-point sums stay bit-identical to the map-based
+  // pool. Borrow records live in a slab threaded onto two intrusive
+  // doubly-linked lists: the global insertion-order list (the legacy
+  // vector's iteration order, which the FP-summing audits, debug_state and
+  // reharvest depend on) and a per-source grant chain hanging off the
+  // source's entry (preemptive release revokes a source's grants without
+  // scanning every record). Free slots are recycled LIFO.
   struct Entry {
+    sim::InvocationId source = 0;
     sim::Resources idle;
     sim::SimTime est_expiry = 0.0;
     /// Conservation ledger: total volume harvested from this source and not
     /// yet preemptively released. Invariant: idle + Σ borrows == harvested.
     sim::Resources harvested;
+    /// Per-source grant chain: slab indices in insertion order (-1 = none).
+    int32_t grants_head = -1;
+    int32_t grants_tail = -1;
   };
   struct BorrowRecord {
     sim::InvocationId source = 0;
@@ -214,6 +230,11 @@ class HarvestResourcePool {
     sim::Resources amount;
     sim::SimTime est_expiry = 0.0;
     int tenant = 0;
+    bool live = false;
+    int32_t prev_order = -1;  // global insertion-order list
+    int32_t next_order = -1;
+    int32_t prev_src = -1;  // per-source grant chain
+    int32_t next_src = -1;
   };
 
   void accrue_idle_locked(sim::SimTime now) const LIBRA_REQUIRES(mu_);
@@ -223,14 +244,40 @@ class HarvestResourcePool {
   void notify(PoolOp op, sim::InvocationId subject, sim::SimTime now) const
       LIBRA_EXCLUDES(mu_);
 
-  /// Borrowed volume currently outstanding for `tenant`, from borrows_.
+  /// Borrowed volume currently outstanding for `tenant` (order-list walk).
   sim::Resources tenant_outstanding_locked(int tenant) const
       LIBRA_REQUIRES(mu_);
 
+  /// Binary search in the sorted entry vector; nullptr when absent.
+  Entry* find_entry_locked(sim::InvocationId source) LIBRA_REQUIRES(mu_);
+  const Entry* find_entry_locked(sim::InvocationId source) const
+      LIBRA_REQUIRES(mu_);
+  /// Find-or-insert at the sorted position (the legacy map's operator[]).
+  Entry& entry_for_locked(sim::InvocationId source) LIBRA_REQUIRES(mu_);
+  /// Appends a live borrow record (slab slot reuse), linking it onto the
+  /// global insertion-order list and `entry`'s grant chain.
+  void append_borrow_locked(Entry& entry, sim::InvocationId borrower,
+                            const sim::Resources& amount, int tenant)
+      LIBRA_REQUIRES(mu_);
+  /// Unlinks a record from the global order list and recycles its slot. The
+  /// caller handles the per-source chain (consumed wholesale or via
+  /// unlink_src_locked).
+  void unlink_order_locked(int32_t idx) LIBRA_REQUIRES(mu_);
+  /// Removes a record from its source entry's grant chain.
+  void unlink_src_locked(Entry& entry, int32_t idx) LIBRA_REQUIRES(mu_);
+
   mutable util::Mutex mu_;
-  std::map<sim::InvocationId, Entry> entries_ LIBRA_GUARDED_BY(mu_);
-  std::vector<BorrowRecord> borrows_ LIBRA_GUARDED_BY(mu_);
+  /// Source entries, sorted by source id (== legacy map iteration order).
+  std::vector<Entry> entries_ LIBRA_GUARDED_BY(mu_);
+  /// Borrow-record slab + LIFO free list + global order-list endpoints.
+  std::vector<BorrowRecord> borrow_slab_ LIBRA_GUARDED_BY(mu_);
+  std::vector<int32_t> borrow_free_ LIBRA_GUARDED_BY(mu_);
+  int32_t borrow_head_ LIBRA_GUARDED_BY(mu_) = -1;
+  int32_t borrow_tail_ LIBRA_GUARDED_BY(mu_) = -1;
+  size_t borrow_count_ LIBRA_GUARDED_BY(mu_) = 0;
   /// Per-tenant caps on concurrently borrowed volume (empty = no quotas).
+  /// Cold path: written at setup, read per get(); a map member is fine here.
+  // LIBRA_LINT_ALLOW(flat-hot-path): setup-time quota table, not touched per decision
   std::map<int, sim::Resources> tenant_quotas_ LIBRA_GUARDED_BY(mu_);
   mutable double idle_cpu_secs_ LIBRA_GUARDED_BY(mu_) = 0.0;
   mutable double idle_mem_secs_ LIBRA_GUARDED_BY(mu_) = 0.0;

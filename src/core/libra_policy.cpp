@@ -61,27 +61,48 @@ std::shared_ptr<LibraPolicy> LibraPolicy::with_coverage_scheduler(
 }
 
 HarvestResourcePool& LibraPolicy::pool_for(NodeId node) {
-  auto [it, inserted] = pools_.try_emplace(node);
-  if (inserted) {
-    it->second.set_node_hint(node);
-    if (pool_listener_ != nullptr)
-      it->second.set_event_listener(pool_listener_);
+  const auto idx = static_cast<size_t>(node);
+  if (idx >= pools_.size()) pools_.resize(idx + 1);
+  auto& slot = pools_[idx];
+  if (!slot) {
+    slot = std::make_unique<HarvestResourcePool>();
+    slot->set_node_hint(node);
+    if (pool_listener_ != nullptr) slot->set_event_listener(pool_listener_);
     for (const auto& [tenant, cap] : cfg_.tenant_quotas)
-      it->second.set_tenant_quota(tenant, cap);
+      slot->set_tenant_quota(tenant, cap);
   }
-  return it->second;
+  return *slot;
 }
 
 void LibraPolicy::set_tenant_quota(int tenant, const sim::Resources& cap) {
   cfg_.tenant_quotas[tenant] = cap;
-  // LIBRA_LINT_ALLOW(unordered-iteration): order-insensitive broadcast — every pool gets the same cap
-  for (auto& [node, pool] : pools_) pool.set_tenant_quota(tenant, cap);
+  for (auto& pool : pools_)
+    if (pool) pool->set_tenant_quota(tenant, cap);
 }
 
 void LibraPolicy::set_pool_listener(PoolEventListener* listener) {
   pool_listener_ = listener;
-  // LIBRA_LINT_ALLOW(unordered-iteration): order-insensitive broadcast — every pool gets the same listener pointer
-  for (auto& [node, pool] : pools_) pool.set_event_listener(listener);
+  for (auto& pool : pools_)
+    if (pool) pool->set_event_listener(listener);
+}
+
+void LibraPolicy::add_backfill_candidate(sim::NodeId node,
+                                         sim::InvocationId id) {
+  const auto idx = static_cast<size_t>(node);
+  if (idx >= backfill_candidates_.size())
+    backfill_candidates_.resize(idx + 1);
+  auto& list = backfill_candidates_[idx];
+  const auto it = std::lower_bound(list.begin(), list.end(), id);
+  if (it == list.end() || *it != id) list.insert(it, id);
+}
+
+void LibraPolicy::drop_backfill_candidate(sim::NodeId node,
+                                          sim::InvocationId id) {
+  if (node < 0 || static_cast<size_t>(node) >= backfill_candidates_.size())
+    return;
+  auto& list = backfill_candidates_[static_cast<size_t>(node)];
+  const auto it = std::lower_bound(list.begin(), list.end(), id);
+  if (it != list.end() && *it == id) list.erase(it);
 }
 
 void LibraPolicy::emit_policy_event(PolicyEventKind kind,
@@ -135,6 +156,15 @@ void LibraPolicy::predict(Invocation& inv) {
       inv.profiling_probe = false;
       break;
   }
+}
+
+std::optional<sim::PredictionMemo> LibraPolicy::speculate_predict(
+    const Invocation& inv) const {
+  // Freyr-style suppression consumes suppress_next_ inside predict();
+  // the trust layer stashes raw_pred_ and may serve from the mutable
+  // fallback path. Both are order-dependent — stay serial.
+  if (!cfg_.preemptive_release_on_safeguard || trust_) return std::nullopt;
+  return predictor_->speculate_predict(inv);
 }
 
 NodeId LibraPolicy::select_node(Invocation& inv, EngineApi& api) {
@@ -255,20 +285,22 @@ AllocationPlan LibraPolicy::plan_allocation(Invocation& inv, EngineApi& api) {
         !(inv.pred_demand - (inv.user_alloc + granted))
              .clamped_non_negative()
              .is_zero()) {
-      backfill_candidates_[inv.node].insert(inv.id);
+      add_backfill_candidate(inv.node, inv.id);
     }
   }
   return {effective};
 }
 
 void LibraPolicy::backfill_node(sim::NodeId node, EngineApi& api) {
-  auto it = backfill_candidates_.find(node);
-  if (it == backfill_candidates_.end() || it->second.empty()) return;
+  if (node < 0 || static_cast<size_t>(node) >= backfill_candidates_.size() ||
+      backfill_candidates_[static_cast<size_t>(node)].empty())
+    return;
+  const auto& candidates = backfill_candidates_[static_cast<size_t>(node)];
   auto& pool = pool_for(node);
   std::vector<sim::InvocationId> done;
   // Least-served first so a few hungry invocations cannot starve the rest
   // across pings.
-  std::vector<sim::InvocationId> order(it->second.begin(), it->second.end());
+  std::vector<sim::InvocationId> order(candidates.begin(), candidates.end());
   std::sort(order.begin(), order.end(),
             [&](sim::InvocationId a, sim::InvocationId b) {
               const double sa =
@@ -315,7 +347,7 @@ void LibraPolicy::backfill_node(sim::NodeId node, EngineApi& api) {
     ++stats_.borrow_gets;
     api.update_effective(inv.id, inv.effective + granted);
   }
-  for (const auto id : done) it->second.erase(id);
+  for (const auto id : done) drop_backfill_candidate(node, id);
 }
 
 bool LibraPolicy::wants_monitor(const Invocation& inv) const {
@@ -375,7 +407,7 @@ void LibraPolicy::preemptive_release(Invocation& inv, EngineApi& api,
     // The borrower is under-provisioned again; let backfill re-accelerate
     // it from whatever the pool holds next.
     if (cfg_.runtime_backfill)
-      backfill_candidates_[borrower.node].insert(borrower.id);
+      add_backfill_candidate(borrower.node, borrower.id);
   }
   api.sync_accounting(inv.id);
   if (restore_allocation && !inv.harvested_out.is_zero()) {
@@ -400,7 +432,7 @@ void LibraPolicy::on_complete(Invocation& inv, EngineApi& api) {
     inv.borrowed_in = {0.0, 0.0};
     ++stats_.reharvests;
   }
-  backfill_candidates_[inv.node].erase(inv.id);
+  drop_backfill_candidate(inv.node, inv.id);
   // Score the raw model output against the observed peak (max relative
   // under-prediction across the two axes). A clean completion shortens the
   // strike count / probation streak; a bad one strikes, possibly demoting.
@@ -461,9 +493,18 @@ void LibraPolicy::on_evicted(Invocation& inv, EngineApi& api) {
     inv.borrowed_in = {0.0, 0.0};
     ++stats_.reharvests;
   }
-  backfill_candidates_[inv.node].erase(inv.id);
+  drop_backfill_candidate(inv.node, inv.id);
   // raw_pred_ entry stays: the invocation is still alive and will be scored
   // when its re-dispatch eventually completes.
+}
+
+void LibraPolicy::on_finalized(const sim::Invocation& inv) {
+  // Terminal either way (completion, loss, straggler sweep): whatever
+  // bookkeeping the normal paths left behind goes now, before the record is
+  // recycled. This is what keeps raw_pred_ bounded by the live count — loss
+  // paths never reach the on_complete erase.
+  raw_pred_.erase(inv.id);
+  if (inv.node != sim::kNoNode) drop_backfill_candidate(inv.node, inv.id);
 }
 
 void LibraPolicy::enforce_quarantine(sim::FunctionId func, EngineApi& api) {
@@ -484,9 +525,13 @@ void LibraPolicy::enforce_quarantine(sim::FunctionId func, EngineApi& api) {
 void LibraPolicy::on_health_ping(NodeId node, EngineApi& api) {
   last_seen_now_ = api.now();
   LIBRA_DEBUG() << "ping node " << node << " t=" << api.now() << " candidates="
-                << backfill_candidates_[node].size();
+                << (static_cast<size_t>(node) < backfill_candidates_.size()
+                        ? backfill_candidates_[static_cast<size_t>(node)].size()
+                        : 0);
   if (cfg_.runtime_backfill) backfill_node(node, api);
-  snapshots_[node] = pool_for(node).snapshot(api.now());
+  if (static_cast<size_t>(node) >= snapshots_.size())
+    snapshots_.resize(static_cast<size_t>(node) + 1);
+  snapshots_[static_cast<size_t>(node)] = pool_for(node).snapshot(api.now());
 }
 
 void LibraPolicy::on_node_down(NodeId node, EngineApi& api) {
@@ -510,7 +555,8 @@ void LibraPolicy::on_node_down(NodeId node, EngineApi& api) {
           borrower.id, (borrower.effective - rev.amount).clamped_non_negative());
     }
   }
-  backfill_candidates_.erase(node);
+  if (static_cast<size_t>(node) < backfill_candidates_.size())
+    backfill_candidates_[static_cast<size_t>(node)].clear();
   // The controller keeps its stale pool snapshot: it only learns about the
   // crash from missing health pings, never from this node-side event.
 }
@@ -519,7 +565,9 @@ void LibraPolicy::on_node_up(NodeId node, EngineApi& api) {
   last_seen_now_ = api.now();
   // The node rejoins with an empty pool; drop the pre-crash snapshot so the
   // first post-recovery ping advertises reality, not ghost inventory.
-  snapshots_[node] = PoolStatus{};
+  if (static_cast<size_t>(node) >= snapshots_.size())
+    snapshots_.resize(static_cast<size_t>(node) + 1);
+  snapshots_[static_cast<size_t>(node)] = PoolStatus{};
 }
 
 void LibraPolicy::on_drain_notice(NodeId node, sim::SimTime deadline,
@@ -548,34 +596,34 @@ void LibraPolicy::on_drain_notice(NodeId node, sim::SimTime deadline,
           borrower.id, (borrower.effective - rev.amount).clamped_non_negative());
     }
   }
-  backfill_candidates_.erase(node);
+  if (static_cast<size_t>(node) < backfill_candidates_.size())
+    backfill_candidates_[static_cast<size_t>(node)].clear();
   // Unlike a crash — where the controller's snapshot deliberately goes stale
   // until pings catch up — the notice is platform-delivered, so stop
   // advertising inventory from the departing node immediately.
-  snapshots_[node] = PoolStatus{};
+  if (static_cast<size_t>(node) >= snapshots_.size())
+    snapshots_.resize(static_cast<size_t>(node) + 1);
+  snapshots_[static_cast<size_t>(node)] = PoolStatus{};
 }
 
 const PoolStatus& LibraPolicy::pool_status(NodeId node) const {
   static const PoolStatus kEmpty;
-  auto it = snapshots_.find(node);
-  return it != snapshots_.end() ? it->second : kEmpty;
+  return node >= 0 && static_cast<size_t>(node) < snapshots_.size()
+             ? snapshots_[static_cast<size_t>(node)]
+             : kEmpty;
 }
 
 sim::PolicyStats LibraPolicy::stats() const {
   sim::PolicyStats out = stats_;
-  // Accumulate in node-id order, never hash order: floating-point addition
-  // is not associative, so a hash-ordered sum would make the reported
-  // integrals depend on the container's bucket layout.
-  std::vector<sim::NodeId> node_ids;
-  node_ids.reserve(pools_.size());
-  // LIBRA_LINT_ALLOW(unordered-iteration): collects keys into a vector that is sorted before use
-  for (const auto& [node, pool] : pools_) node_ids.push_back(node);
-  std::sort(node_ids.begin(), node_ids.end());
-  for (const sim::NodeId node : node_ids) {
+  // Accumulate in node-id order — the flat layout's index order IS node
+  // order, so the floating-point sums are deterministic by construction (no
+  // hash-order hazard, no sort).
+  for (const auto& pool : pools_) {
+    if (!pool) continue;
     // Single combined read: the (cpu, mem) idle integrals are a pair kept
     // consistent under one lock; reading them through two separate accessors
     // could interleave with a concurrent put()/get() and tear the pair.
-    const auto ii = pools_.at(node).idle_integrals(last_seen_now_);
+    const auto ii = pool->idle_integrals(last_seen_now_);
     out.pool_idle_cpu_core_seconds += ii.cpu_core_seconds;
     out.pool_idle_mem_mb_seconds += ii.mem_mb_seconds;
   }
@@ -584,6 +632,25 @@ sim::PolicyStats LibraPolicy::stats() const {
     out.trust_promotions = trust_->promotions();
     out.quarantined_functions = trust_->quarantined_count(last_seen_now_);
   }
+  return out;
+}
+
+std::vector<std::pair<sim::NodeId, const HarvestResourcePool*>>
+LibraPolicy::pools_for_audit() const {
+  std::vector<std::pair<sim::NodeId, const HarvestResourcePool*>> out;
+  out.reserve(pools_.size());
+  for (size_t i = 0; i < pools_.size(); ++i)
+    if (pools_[i])
+      out.emplace_back(static_cast<sim::NodeId>(i), pools_[i].get());
+  return out;  // index order == ascending node order
+}
+
+std::vector<sim::InvocationId> LibraPolicy::raw_pred_ids_for_audit() const {
+  std::vector<sim::InvocationId> out;
+  out.reserve(raw_pred_.size());
+  // LIBRA_LINT_ALLOW(unordered-iteration): collects keys into a vector that is sorted on the next line
+  for (const auto& [id, pred] : raw_pred_) out.push_back(id);
+  std::sort(out.begin(), out.end());
   return out;
 }
 

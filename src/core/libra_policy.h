@@ -91,6 +91,13 @@ class LibraPolicy final : public sim::Policy, public PoolStatusProvider {
 
   std::string name() const override;
   void predict(sim::Invocation& inv) override;
+  /// Pure prediction memo for the controller's prediction barrier (§5l).
+  /// Declines whenever predict() would touch policy state: Freyr-style
+  /// suppression (suppress_next_ consumption) and the trust layer (raw_pred_
+  /// stash + fallback serving). Otherwise delegates to the predictor, which
+  /// declines first-seen training itself.
+  std::optional<sim::PredictionMemo> speculate_predict(
+      const sim::Invocation& inv) const override;
   sim::NodeId select_node(sim::Invocation& inv, sim::EngineApi& api) override;
   std::optional<sim::NodeId> speculate_select(
       const sim::Invocation& inv, const sim::EngineApi& api) const override;
@@ -107,6 +114,10 @@ class LibraPolicy final : public sim::Policy, public PoolStatusProvider {
   void on_node_up(sim::NodeId node, sim::EngineApi& api) override;
   void on_drain_notice(sim::NodeId node, sim::SimTime deadline,
                        sim::EngineApi& api) override;
+  /// Terminal-record hook: drops per-invocation bookkeeping (raw_pred_ stash,
+  /// backfill candidacy) so the maps stay bounded by the live-invocation
+  /// count even on loss paths that never reach on_complete/on_evicted.
+  void on_finalized(const sim::Invocation& inv) override;
   sim::PolicyStats stats() const override;
 
   // PoolStatusProvider: piggybacked (possibly stale) snapshot, by reference
@@ -141,11 +152,15 @@ class LibraPolicy final : public sim::Policy, public PoolStatusProvider {
   }
 
   /// Read-only pool enumeration for the invariant auditor's cross-layer
-  /// sweeps (grant liveness, down-node emptiness).
-  const std::unordered_map<sim::NodeId, HarvestResourcePool>& pools_for_audit()
-      const {
-    return pools_;
-  }
+  /// sweeps (grant liveness, down-node emptiness), in ascending node order —
+  /// auditors iterate it directly, no sort-before-use dance.
+  std::vector<std::pair<sim::NodeId, const HarvestResourcePool*>>
+  pools_for_audit() const;
+
+  /// Invocation ids currently stashed in the raw-prediction bookkeeping, in
+  /// ascending order. The invariant auditor asserts each one is still alive —
+  /// the boundedness check that caught the pre-§5l leak on loss paths.
+  std::vector<sim::InvocationId> raw_pred_ids_for_audit() const;
 
  private:
   /// Predicted execution time if the invocation runs with `alloc`.
@@ -168,14 +183,24 @@ class LibraPolicy final : public sim::Policy, public PoolStatusProvider {
   /// Fires a PolicyEvent at the registered listener (no-op when unset).
   void emit_policy_event(PolicyEventKind kind, const sim::Invocation& inv,
                          sim::SimTime now);
+  /// Sorted-unique insertion / removal in the per-node backfill candidate
+  /// list (flat vectors, §5l). Node indices grow on demand.
+  void add_backfill_candidate(sim::NodeId node, sim::InvocationId id);
+  void drop_backfill_candidate(sim::NodeId node, sim::InvocationId id);
 
   LibraPolicyConfig cfg_;
   PredictorPtr predictor_;
   SchedulerPtr scheduler_;
   PoolEventListener* pool_listener_ = nullptr;
   PolicyEventListener* policy_listener_ = nullptr;
-  std::unordered_map<sim::NodeId, HarvestResourcePool> pools_;
-  std::unordered_map<sim::NodeId, PoolStatus> snapshots_;
+  /// Per-node harvest pools, indexed by node id (§5l flat layout; pools are
+  /// non-movable — util::Mutex member — hence the unique_ptr slots). Index
+  /// order IS ascending node order, so every iteration below is
+  /// deterministic without a sort.
+  std::vector<std::unique_ptr<HarvestResourcePool>> pools_;
+  /// Piggybacked pool-status snapshots, indexed by node id. A never-pinged
+  /// node's default-constructed entry equals the empty status.
+  std::vector<PoolStatus> snapshots_;
   /// Freyr mode: functions whose next invocation must run un-harvested.
   std::unordered_set<sim::FunctionId> suppress_next_;
   /// Profiler hook for per-function memory-strike mitigation (may be null
@@ -186,11 +211,14 @@ class LibraPolicy final : public sim::Policy, public PoolStatusProvider {
   std::unique_ptr<TrustManager> trust_;
   /// Raw model predictions stashed before quarantine/fallback padding so
   /// on_complete scores the MODEL (enabling re-promotion), not the padded
-  /// serving decision. Erased at completion/eviction.
+  /// serving decision. Erased at completion and, for every loss path that
+  /// never completes, by on_finalized — the boundedness guarantee the
+  /// invariant auditor checks.
   std::unordered_map<sim::InvocationId, sim::Resources> raw_pred_;
-  /// Running invocations still short of their predicted demand, per node.
-  std::unordered_map<sim::NodeId, std::unordered_set<sim::InvocationId>>
-      backfill_candidates_;
+  /// Running invocations still short of their predicted demand: per node, a
+  /// sorted-unique id vector (flat §5l layout — binary-search membership,
+  /// in-order walk for free).
+  std::vector<std::vector<sim::InvocationId>> backfill_candidates_;
   mutable sim::PolicyStats stats_;
   sim::SimTime last_seen_now_ = 0.0;
 };

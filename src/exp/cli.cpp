@@ -63,6 +63,8 @@ CliOptions parse_cli(int argc, char** argv) {
     } else if (take_value(argc, argv, &i, "--gen-minutes", &value)) {
       opt.gen = true;
       opt.gen_cfg.duration = std::strtod(value.c_str(), nullptr) * 60.0;
+    } else if (take_value(argc, argv, &i, "--json-out", &value)) {
+      opt.json_out = value;
     } else {
       opt.extra.emplace_back(arg);
     }
@@ -82,6 +84,8 @@ std::string cli_usage() {
          "  --gen-rpm X          synthetic workload: base requests/minute\n"
          "  --gen-seed S         synthetic workload: generator seed\n"
          "  --gen-minutes M      synthetic workload: trace length, minutes\n"
+         "  --json-out PATH      merge perf rows into a BenchArtifact JSON\n"
+         "                       file (compare runs with tools/bench_diff)\n"
          "  -h, --help           this help\n";
 }
 

@@ -14,6 +14,9 @@
 //   --gen-rpm X          synthetic workload: base arrival rate, req/minute
 //   --gen-seed S         synthetic workload: generator seed
 //   --gen-minutes M      synthetic workload: trace length in minutes
+//   --json-out PATH      append/merge this bench's perf rows into a
+//                        BenchArtifact JSON file (tools/bench_diff compares
+//                        two such artifacts; CI gates on the diff)
 //   -h / --help          print usage for these shared flags
 //
 // Unrecognized arguments are passed through in `extra` (order preserved) so
@@ -42,6 +45,8 @@ struct CliOptions {
   /// Synthetic-generator knobs (--gen-functions / --gen-rpm / --gen-seed /
   /// --gen-minutes), pre-populated with the GenConfig defaults.
   gen::GenConfig gen_cfg;
+  /// Perf-artifact destination (--json-out); empty = no artifact written.
+  std::string json_out;
   /// Unrecognized argv entries, in order (argv[0] excluded).
   std::vector<std::string> extra;
 

@@ -106,10 +106,13 @@ void ClusterState::on_node_down(NodeId node_id) {
   host_.policy().on_node_down(node_id, host_.api());
   n.set_up(false);
   std::vector<InvocationId> victims;
-  // LIBRA_LINT_ALLOW(unordered-iteration): collects ids into a vector that is sorted before use
-  for (const auto& [id, inv] : host_.invocations_map())
-    if (!inv.done && inv.node == node_id) victims.push_back(id);
-  std::sort(victims.begin(), victims.end());  // map order is not deterministic
+  // Slot-order walk over the flat invocation store; the sort below restores
+  // id order before any state is touched.
+  host_.invocations_store().for_each(
+      [&victims, node_id](InvocationId id, const Invocation& inv) {
+        if (!inv.done && inv.node == node_id) victims.push_back(id);
+      });
+  std::sort(victims.begin(), victims.end());
   for (InvocationId id : victims) host_.lifecycle().kill_invocation(id);
   n.containers().clear();
   n.check_quiescent();
@@ -169,11 +172,11 @@ void ClusterState::on_node_up(NodeId node_id) {
   host_.notify_audit("node_up", kNoInvocation, node_id);
 }
 
-void ClusterState::refresh_usage(const Invocation& inv, bool stopping) {
-  auto it = usage_contrib_.find(inv.id);
-  if (it != usage_contrib_.end()) {
-    used_now_ -= it->second;
-    usage_contrib_.erase(it);
+void ClusterState::refresh_usage(Invocation& inv, bool stopping) {
+  if (inv.usage_contrib_present) {
+    used_now_ -= inv.usage_contrib;
+    inv.usage_contrib = Resources{0.0, 0.0};
+    inv.usage_contrib_present = false;
   }
   if (!stopping && (inv.running || !inv.done)) {
     const ExecutionModel& exec = host_.api().exec_model();
@@ -184,7 +187,8 @@ void ClusterState::refresh_usage(const Invocation& inv, bool stopping) {
                     : Resources{0.0, 0.0};
     if (!contrib.is_zero()) {
       used_now_ += contrib;
-      usage_contrib_.emplace(inv.id, contrib);
+      inv.usage_contrib = contrib;
+      inv.usage_contrib_present = true;
     }
   }
   used_now_ = used_now_.clamped_non_negative();

@@ -5,7 +5,6 @@
 // controller layers reach it through EngineHost::cluster().
 #pragma once
 
-#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -54,8 +53,10 @@ class ClusterState {
   bool node_draining(NodeId id) const;
 
   // ---- Cluster-wide usage accounting ----
-  /// Re-derives the invocation's contribution to the live usage sums.
-  void refresh_usage(const Invocation& inv, bool stopping);
+  /// Re-derives the invocation's contribution to the live usage sums. The
+  /// contribution currently reflected in the sums lives inline on the record
+  /// (Invocation::usage_contrib, §5l) — no side map to allocate or look up.
+  void refresh_usage(Invocation& inv, bool stopping);
   /// Samples the four cluster series (used / allocated, cpu / mem) now.
   /// When EngineConfig::series_resolution > 0, samples at most once per
   /// resolution interval — the allocated-sum loop is O(#nodes), so planet-
@@ -80,10 +81,10 @@ class ClusterState {
   // Last sampled series time; gates record_series under series_resolution.
   SimTime last_series_at_ = -1.0;
 
-  // Live usage accounting (cluster-wide sums, updated incrementally).
+  // Live usage accounting (cluster-wide sums, updated incrementally). The
+  // per-invocation contributions live on the records themselves
+  // (Invocation::usage_contrib / usage_contrib_present).
   Resources used_now_;
-  // Per-invocation usage contribution currently reflected in used_now_.
-  std::unordered_map<InvocationId, Resources> usage_contrib_;
 };
 
 }  // namespace libra::sim

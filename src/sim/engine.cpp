@@ -26,15 +26,14 @@ Engine::Engine(EngineConfig cfg, std::shared_ptr<Policy> policy)
 }
 
 Invocation& Engine::invocation(InvocationId id) {
-  auto it = invocations_.find(id);
-  if (it == invocations_.end())
-    throw std::out_of_range("Engine: unknown invocation id");
-  return it->second;
+  Invocation* p = invocations_.find(id);
+  if (!p) throw std::out_of_range("Engine: unknown invocation id");
+  return *p;
 }
 
 bool Engine::invocation_alive(InvocationId id) const {
-  auto it = invocations_.find(id);
-  return it != invocations_.end() && !it->second.done;
+  const Invocation* p = invocations_.find(id);
+  return p && !p->done;
 }
 
 void Engine::notify_audit(const char* what, InvocationId inv, NodeId node_id) {
@@ -68,9 +67,8 @@ RunMetrics Engine::run(std::vector<Invocation> trace) {
     last_arrival = std::max(last_arrival, inv.arrival);
     const InvocationId id = inv.id;
     const SimTime at = inv.arrival;
-    auto [it, inserted] = invocations_.emplace(id, std::move(inv));
-    if (!inserted) throw std::invalid_argument("Engine: duplicate invocation id");
-    (void)it;
+    if (!invocations_.insert(id, std::move(inv)))
+      throw std::invalid_argument("Engine: duplicate invocation id");
     queue_.schedule(at, [this, id] { on_arrival(id); });
   }
   metrics_.peak_live_records = static_cast<long>(invocations_.size());
@@ -161,17 +159,9 @@ void Engine::admit_streamed(Invocation&& inv) {
   const InvocationId id = inv.id;
   const SimTime at = inv.arrival;
   ++total_;
-  bool inserted = false;
-  if (!inv_free_.empty()) {
-    auto nh = std::move(inv_free_.back());
-    inv_free_.pop_back();
-    nh.key() = id;
-    nh.mapped() = std::move(inv);
-    inserted = invocations_.insert(std::move(nh)).inserted;
-  } else {
-    inserted = invocations_.emplace(id, std::move(inv)).second;
-  }
-  if (!inserted)
+  // The store reuses a recycled slot (and the record's heap buffers) when
+  // the free list is non-empty — the old extract()/insert(node) path.
+  if (!invocations_.insert(id, std::move(inv)))
     throw std::invalid_argument("Engine: duplicate invocation id in stream");
   metrics_.peak_live_records = std::max(
       metrics_.peak_live_records, static_cast<long>(invocations_.size()));
@@ -180,9 +170,9 @@ void Engine::admit_streamed(Invocation&& inv) {
 
 void Engine::drain_recycle() {
   for (const InvocationId id : pending_recycle_) {
-    auto it = invocations_.find(id);
-    if (it == invocations_.end()) continue;
-    Invocation& inv = it->second;
+    Invocation* p = invocations_.find(id);
+    if (!p) continue;
+    Invocation& inv = *p;
     // A recycled record must have no live continuation: terminal, with its
     // tracked events disarmed. Epoch/generation-guarded events that still
     // hold the id resolve through find_invocation() and see the miss as the
@@ -194,7 +184,7 @@ void Engine::drain_recycle() {
                       "recycling invocation " << inv.id
                                               << " with armed events");
     notify_audit("recycle", id);
-    inv_free_.push_back(invocations_.extract(it));
+    invocations_.erase(id);
   }
   pending_recycle_.clear();
 }
@@ -205,10 +195,10 @@ RunMetrics Engine::finish_run() {
   // in id order, never in hash order: these records land in
   // metrics_.invocations, which the exporters and replay digests consume.
   std::vector<InvocationId> unfinished;
-  // LIBRA_LINT_ALLOW(unordered-iteration): collects ids into a vector that is sorted before use
-  for (const auto& [id, inv] : invocations_) {
+  // Slot-order walk; the sort below restores id order before finalization.
+  invocations_.for_each([&unfinished](InvocationId id, const Invocation& inv) {
     if (!inv.done) unfinished.push_back(id);
-  }
+  });
   std::sort(unfinished.begin(), unfinished.end());
   for (InvocationId id : unfinished) lifecycle_->finalize_record(invocation(id));
   if (cfg_.retain_records) {
@@ -244,11 +234,12 @@ void Engine::on_arrival(InvocationId id) {
 }
 
 void Engine::on_profiled(InvocationId id) {
-  Invocation& inv = invocation(id);
-  policy_->predict(inv);
-  inv.t_profiler_done = now() + cfg_.profiler_delay;
-  queue_.schedule(inv.t_profiler_done,
-                  [this, id] { controller_->admit(id); });
+  // Prediction is batched with every other same-instant profiler completion
+  // and hoisted into the controller's prediction barrier (§5l): pure
+  // speculation runs on the worker pool, commits and admission scheduling
+  // happen serially in registration order — the serial path's relative
+  // ordering, at the barrier's position in the event stream.
+  controller_->enqueue_prediction(id);
 }
 
 }  // namespace libra::sim

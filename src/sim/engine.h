@@ -15,7 +15,6 @@
 #pragma once
 
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "gen/trace_source.h"
@@ -98,12 +97,9 @@ class Engine final : public EngineApi, private EngineHost {
   // Invocation& invocation(InvocationId) — the public EngineApi override
   // above also overrides the identical EngineHost virtual.
   Invocation* find_invocation(InvocationId id) override {
-    auto it = invocations_.find(id);
-    return it == invocations_.end() ? nullptr : &it->second;
+    return invocations_.find(id);
   }
-  std::unordered_map<InvocationId, Invocation>& invocations_map() override {
-    return invocations_;
-  }
+  InvocationStore& invocations_store() override { return invocations_; }
   void request_recycle(InvocationId id) override {
     if (recycle_active_) pending_recycle_.push_back(id);
   }
@@ -122,11 +118,11 @@ class Engine final : public EngineApi, private EngineHost {
   /// schedules a cluster drain notice EngineConfig::spot_drain_notice seconds
   /// before the scripted crash (no-op when the notice lead time is 0).
   void schedule_drain_notices();
-  /// Inserts one streamed invocation (reusing a free-listed map node when
+  /// Inserts one streamed invocation (reusing a recycled store slot when
   /// available) and schedules its arrival on the arrival lane.
   void admit_streamed(Invocation&& inv);
-  /// Extracts terminal records queued by request_recycle() onto the free
-  /// list. Only called between events, never mid-callback.
+  /// Returns terminal records queued by request_recycle() to the store's
+  /// slot free list. Only called between events, never mid-callback.
   void drain_recycle();
   /// Common run epilogue: straggler sweep, incomplete accounting, cold/warm
   /// totals, policy stats.
@@ -136,10 +132,10 @@ class Engine final : public EngineApi, private EngineHost {
   std::shared_ptr<Policy> policy_;
   ExecutionModel exec_;
   EventQueue queue_;
-  std::unordered_map<InvocationId, Invocation> invocations_;
-  /// Free-listed map nodes from recycled terminal invocations.
-  std::vector<std::unordered_map<InvocationId, Invocation>::node_type>
-      inv_free_;
+  /// Flat slot-slab record store (util::DenseIdMap): recycled terminal
+  /// records return their slot (and the record's heap buffers) to the free
+  /// list; find() never hashes.
+  InvocationStore invocations_;
   std::vector<InvocationId> pending_recycle_;
   bool recycle_active_ = false;
   /// False only while a streaming run still has unadmitted arrivals; keeps

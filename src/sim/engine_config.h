@@ -42,6 +42,15 @@ struct EngineConfig {
   /// speculated inline, no threads are spawned.
   int sched_workers = 1;
 
+  /// Maximum scheduling decisions a shard serves per barrier event (§5l).
+  /// 1 (default) reproduces the legacy one-decision-per-barrier engine
+  /// bit-for-bit. Higher depths amortize barrier overhead over up to k
+  /// queued invocations per shard: each decision still pays
+  /// sched_decision_delay (busy_until advances by depth * delay), and
+  /// same-shard conflicts are caught by commit-time try_reserve validation.
+  /// Changes event timing when > 1, so golden digests only pin depth 1.
+  int sched_batch_depth = 1;
+
   /// Multi-controller control plane (src/sim/ctrl, DESIGN.md §5k): number
   /// of front-end controllers, gossip feeding of their pool-view caches and
   /// the cross-controller steal knobs. The default is transparent — one

@@ -6,14 +6,18 @@
 // stays acyclic: layers -> EngineHost <- Engine.
 #pragma once
 
-#include <unordered_map>
-
 #include "sim/engine_config.h"
 #include "sim/event_queue.h"
 #include "sim/invocation.h"
 #include "sim/metrics.h"
+#include "util/dense_id_map.h"
 
 namespace libra::sim {
+
+/// The engine's invocation store: a flat, generation-checked slab keyed by
+/// id (DESIGN.md §5l) — find() is two array loads, recycled slots come back
+/// through a free list, and live-record iteration walks contiguous memory.
+using InvocationStore = util::DenseIdMap<InvocationId, Invocation>;
 
 class EngineApi;
 class Policy;
@@ -50,7 +54,10 @@ class EngineHost {
   /// continuations use this: a miss means the guard would have rejected the
   /// event anyway, so they return silently.
   virtual Invocation* find_invocation(InvocationId id) = 0;
-  virtual std::unordered_map<InvocationId, Invocation>& invocations_map() = 0;
+  /// The flat record store itself, for layers that scan live records
+  /// (for_each walks slot order; order-sensitive consumers collect ids and
+  /// sort, exactly as they did when this seam exposed an unordered_map).
+  virtual InvocationStore& invocations_store() = 0;
   /// Marks a TERMINAL invocation's record for free-list recycling. Deferred:
   /// the engine drains requests only between events, so `Invocation&`
   /// references held by the current callback chain stay valid. No-op unless

@@ -17,6 +17,20 @@ namespace libra::sim {
 /// earlier harvesting/acceleration.
 enum class InvOutcome { kDefault, kHarvested, kAccelerated, kSafeguarded };
 
+/// A profiler prediction computed speculatively (Policy::speculate_predict)
+/// on a worker thread and applied serially at the prediction barrier's
+/// commit position (§5l). Carries exactly the fields Policy::predict writes,
+/// so applying a memo is bit-identical to the serial call it replaces.
+struct PredictionMemo {
+  Resources pred_demand;
+  double pred_duration = 0.0;
+  bool pred_size_related = false;
+  bool first_seen = false;
+  /// Set (never cleared) when the prediction decided to probe — mirrors
+  /// predict_histogram's write-only update of Invocation::profiling_probe.
+  bool profiling_probe = false;
+};
+
 struct Invocation {
   InvocationId id = 0;
   FunctionId func = 0;
@@ -75,6 +89,12 @@ struct Invocation {
   /// engine while folding progress; Fig. 8's "Core x Sec" / "MB x Sec" axes.
   double reassigned_core_seconds = 0.0;
   double reassigned_mb_seconds = 0.0;
+  /// This invocation's current contribution to ClusterState's cluster-wide
+  /// usage integral, stored in-record instead of a side map (§5l). Owned by
+  /// ClusterState::refresh_usage; `usage_contrib_present` mirrors the old
+  /// map's membership (only nonzero contributions are tracked).
+  Resources usage_contrib;
+  bool usage_contrib_present = false;
 
   // ---- Lifecycle timestamps (Fig. 15 breakdown) ----
   SimTime t_frontend_done = 0.0;

@@ -94,11 +94,9 @@ void InvocationLifecycle::update_effective(InvocationId id,
 }
 
 Resources InvocationLifecycle::observed_usage(InvocationId id) const {
-  auto& map = host_.invocations_map();
-  auto it = map.find(id);
-  if (it == map.end())
-    throw std::out_of_range("observed_usage: unknown invocation");
-  const Invocation& inv = it->second;
+  const Invocation* p = host_.find_invocation(id);
+  if (!p) throw std::out_of_range("observed_usage: unknown invocation");
+  const Invocation& inv = *p;
   if (!inv.running) return {0.0, 0.0};
   const SimTime now = host_.queue().now();
   // Instantaneous usage fluctuates below the peak; a monitor samples one
@@ -126,27 +124,23 @@ Resources InvocationLifecycle::observed_usage(InvocationId id) const {
 }
 
 void InvocationLifecycle::sync_accounting(InvocationId id) {
-  auto& map = host_.invocations_map();
-  auto it = map.find(id);
-  if (it == map.end()) return;
-  Invocation& inv = it->second;
+  Invocation* p = host_.find_invocation(id);
+  if (!p) return;
+  Invocation& inv = *p;
   if (inv.running && !inv.done) fold_progress(inv);
 }
 
 Resources InvocationLifecycle::observed_peak(InvocationId id) const {
-  auto& map = host_.invocations_map();
-  auto it = map.find(id);
-  if (it == map.end())
-    throw std::out_of_range("observed_peak: unknown invocation");
-  const Invocation& inv = it->second;
+  const Invocation* p = host_.find_invocation(id);
+  if (!p) throw std::out_of_range("observed_peak: unknown invocation");
+  const Invocation& inv = *p;
   return Resources::min(inv.truth.demand, inv.max_effective);
 }
 
 void InvocationLifecycle::monitor_tick(InvocationId id) {
-  auto& map = host_.invocations_map();
-  auto it = map.find(id);
-  if (it == map.end()) return;
-  Invocation& inv = it->second;
+  Invocation* p = host_.find_invocation(id);
+  if (!p) return;
+  Invocation& inv = *p;
   inv.monitor_event = kInvalidEvent;
   if (inv.done || !inv.running) return;
   if (host_.fault_active() &&
@@ -411,6 +405,10 @@ void InvocationLifecycle::finalize_record(Invocation& inv) {
   if (!rec.completed && !rec.lost) ++m.finalized_incomplete;
   if (host_.config().record_sink) host_.config().record_sink->on_record(rec);
   if (host_.config().retain_records) m.invocations.push_back(rec);
+  // Every terminal path funnels through here (completion, loss, straggler
+  // sweep), so this is where policies drop per-invocation bookkeeping —
+  // nothing may reference the id once the record is recycled.
+  host_.policy().on_finalized(inv);
   // Terminal either way (completion, loss, or straggler sweep): the record
   // is eligible for free-list recycling once the current event unwinds.
   host_.request_recycle(inv.id);

@@ -123,6 +123,33 @@ class Policy {
   /// pred_size_related / first_seen.
   virtual void predict(Invocation& inv) = 0;
 
+  /// Optional speculative form of the Step-3 prediction, used by the
+  /// controller's prediction barrier (§5l). Called from worker threads
+  /// concurrently with other same-instant predictions, so it must be PURE:
+  /// no policy or predictor state may be mutated, and the returned memo must
+  /// equal exactly what predict() would write given the current state.
+  /// Return nullopt whenever predict() would mutate state (first-seen
+  /// training, suppression bookkeeping, trust stashes) — the barrier then
+  /// calls predict() serially at the invocation's commit position, which is
+  /// always correct.
+  virtual std::optional<PredictionMemo> speculate_predict(
+      const Invocation& inv) const {
+    (void)inv;
+    return std::nullopt;
+  }
+
+  /// Applies a successfully speculated prediction at the serial commit
+  /// position. The default writes the memo's fields — exactly the Invocation
+  /// writes of a pure predict(). Policies whose predict() has additional
+  /// per-call side effects must decline speculation or replicate them here.
+  virtual void commit_predict(Invocation& inv, const PredictionMemo& memo) {
+    inv.pred_demand = memo.pred_demand;
+    inv.pred_duration = memo.pred_duration;
+    inv.pred_size_related = memo.pred_size_related;
+    inv.first_seen = memo.first_seen;
+    if (memo.profiling_probe) inv.profiling_probe = true;
+  }
+
   /// Step 4 — scheduling. Returns a node whose shard slice can hold the
   /// user-defined allocation, or kNoNode to park the invocation until
   /// capacity frees up.
@@ -225,6 +252,13 @@ class Policy {
     (void)node;
     (void)api;
   }
+
+  /// The invocation's record was finalized (completion, terminal loss or the
+  /// end-of-run straggler sweep) and may be recycled afterwards. Policies
+  /// holding per-invocation bookkeeping MUST drop it here — this is the only
+  /// hook guaranteed to fire exactly once on every terminal path, which is
+  /// what keeps bookkeeping maps bounded by the live-invocation count.
+  virtual void on_finalized(const Invocation& inv) { (void)inv; }
 
   /// Spot reclamation warning (scenario matrix): the node will crash at
   /// `deadline` and the platform has until then to react. Called BEFORE the

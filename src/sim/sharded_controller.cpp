@@ -116,41 +116,71 @@ void ShardedController::pump(ShardId shard) {
   if (shard_registered_[s] || shard_queues_[s].empty()) return;
   shard_registered_[s] = true;
   const SimTime at = std::max(host_.queue().now(), shard_busy_until_[s]);
-  auto it = batches_.find(at);
-  if (it != batches_.end()) {
-    it->second.push_back(shard);
-    return;  // joins the batch; its barrier event is already scheduled
+  // Flat linear scan (§5l): only a handful of barriers are ever pending, so
+  // this beats the old std::map's tree walk and allocations on the hot path.
+  for (auto& batch : batches_) {
+    if (batch.first == at) {
+      batch.second.push_back(shard);
+      return;  // joins the batch; its barrier event is already scheduled
+    }
   }
-  batches_.emplace(at, std::vector<ShardId>{shard});
+  std::vector<ShardId> members;
+  if (!batch_spare_.empty()) {
+    members = std::move(batch_spare_.back());
+    batch_spare_.pop_back();
+    members.clear();
+  }
+  members.push_back(shard);
+  batches_.emplace_back(at, std::move(members));
   host_.queue().schedule(at, [this, at] { run_barrier(at); });
 }
 
 void ShardedController::run_barrier(SimTime at) {
-  auto it = batches_.find(at);
-  if (it == batches_.end()) return;
-  const std::vector<ShardId> members = std::move(it->second);
+  size_t slot = batches_.size();
+  for (size_t i = 0; i < batches_.size(); ++i)
+    if (batches_[i].first == at) {
+      slot = i;
+      break;
+    }
+  if (slot == batches_.size()) return;
+  std::vector<ShardId> members = std::move(batches_[slot].second);
   // Erase before processing: registrations made at this same timestamp by
   // later handlers must open a fresh batch with a fresh, later event.
-  batches_.erase(it);
+  // Swap-erase is fine — pump() scans linearly, order within batches_ is
+  // irrelevant (each pending timestamp appears exactly once).
+  batches_[slot] = std::move(batches_.back());
+  batches_.pop_back();
 
-  // Pop one invocation per member shard NOW (not at registration time):
-  // same-time retries may have pushed a different invocation to the front,
-  // exactly as the serial per-shard decision events observed it.
+  // Pop up to sched_batch_depth invocations per member shard NOW (not at
+  // registration time): same-time retries may have pushed a different
+  // invocation to the front, exactly as the serial per-shard decision events
+  // observed it. At depth 1 (default) this is bit-for-bit the legacy
+  // one-per-shard barrier. At depth k the shard amortizes one barrier over up
+  // to k decisions: same-shard items may speculate against capacity an
+  // earlier sibling commits away, but commit-time try_reserve validation
+  // catches the conflict and parks the loser — the documented stale-view
+  // path, never an over-commit.
   struct Item {
     InvocationId inv = kNoInvocation;
     std::optional<NodeId> speculated;
     double decision_seconds = 0.0;
   };
+  const int depth = std::max(1, host_.config().sched_batch_depth);
   std::vector<Item> items;
-  items.reserve(members.size());
+  items.reserve(members.size() * static_cast<size_t>(depth));
   for (ShardId shard : members) {
     const auto s = static_cast<size_t>(shard);
     shard_registered_[s] = false;
-    if (shard_queues_[s].empty()) continue;
-    items.push_back({shard_queues_[s].front(), std::nullopt, 0.0});
-    shard_queues_[s].pop_front();
-    host_.control().on_dequeued(items.back().inv);
-    shard_busy_until_[s] = at + host_.config().sched_decision_delay;
+    int popped = 0;
+    while (popped < depth && !shard_queues_[s].empty()) {
+      items.push_back({shard_queues_[s].front(), std::nullopt, 0.0});
+      shard_queues_[s].pop_front();
+      host_.control().on_dequeued(items.back().inv);
+      ++popped;
+    }
+    if (popped > 0)
+      shard_busy_until_[s] =
+          at + host_.config().sched_decision_delay * popped;
   }
 
   // Phase 1 — speculate: read-only decisions from the frozen pre-batch view,
@@ -184,12 +214,84 @@ void ShardedController::run_barrier(SimTime at) {
   // Phase 3 — re-pump the member shards, in the same order the serial
   // engine's per-shard events would have re-armed themselves.
   for (ShardId shard : members) pump(shard);
+  batch_spare_.push_back(std::move(members));
 
   // Cross-controller work stealing (src/sim/ctrl): after the batch settles,
   // idle front ends pull queued work from overloaded peers in fixed
   // controller-id order. Pure re-stamping of Invocation::controller — it
   // never reorders shard queues or event timing.
   host_.control().maybe_steal();
+}
+
+void ShardedController::enqueue_prediction(InvocationId id) {
+  const SimTime at = host_.queue().now();
+  for (auto& batch : pred_batches_) {
+    if (batch.first == at) {
+      batch.second.push_back(id);
+      return;  // joins the barrier; its event is already scheduled
+    }
+  }
+  std::vector<InvocationId> ids;
+  if (!pred_spare_.empty()) {
+    ids = std::move(pred_spare_.back());
+    pred_spare_.pop_back();
+    ids.clear();
+  }
+  ids.push_back(id);
+  pred_batches_.emplace_back(at, std::move(ids));
+  host_.queue().schedule(at, [this, at] { run_pred_barrier(at); });
+}
+
+void ShardedController::run_pred_barrier(SimTime at) {
+  size_t slot = pred_batches_.size();
+  for (size_t i = 0; i < pred_batches_.size(); ++i)
+    if (pred_batches_[i].first == at) {
+      slot = i;
+      break;
+    }
+  if (slot == pred_batches_.size()) return;
+  std::vector<InvocationId> ids = std::move(pred_batches_[slot].second);
+  // Same erase-before-process discipline as the decision barrier: profiler
+  // completions landing at this instant from later handlers open a fresh
+  // barrier with a fresh, later event.
+  pred_batches_[slot] = std::move(pred_batches_.back());
+  pred_batches_.pop_back();
+
+  // Phase 1 — speculate: pure prediction memos computed from the frozen
+  // pre-barrier model state, fanned out across the worker pool. Predictions
+  // of trained functions are pure by contract (Policy::speculate_predict);
+  // anything order-dependent (first-seen training, suppression bookkeeping)
+  // declines and stays serial.
+  std::vector<std::optional<PredictionMemo>> memos(ids.size());
+  auto speculate_one = [&](size_t i) {
+    const Invocation& inv = host_.invocation(ids[i]);
+    if (inv.done) return;
+    memos[i] = host_.policy().speculate_predict(inv);
+  };
+  const int workers = host_.config().sched_workers;
+  if (workers > 1 && ids.size() > 1) {
+    if (!pool_) pool_ = std::make_unique<SchedWorkerPool>(workers);
+    pool_->run(ids.size(), speculate_one);
+  } else {
+    for (size_t i = 0; i < ids.size(); ++i) speculate_one(i);
+  }
+
+  // Phase 2 — commit serially in registration order: write (or compute) the
+  // prediction and schedule admission after profiler_delay, replicating the
+  // serial path's per-event predict/schedule sequence — same relative order,
+  // same timestamps.
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const InvocationId id = ids[i];
+    Invocation& inv = host_.invocation(id);
+    if (inv.done) continue;
+    if (memos[i].has_value())
+      host_.policy().commit_predict(inv, *memos[i]);
+    else
+      host_.policy().predict(inv);
+    inv.t_profiler_done = at + host_.config().profiler_delay;
+    host_.queue().schedule(inv.t_profiler_done, [this, id] { admit(id); });
+  }
+  pred_spare_.push_back(std::move(ids));
 }
 
 void ShardedController::commit_one(InvocationId id,

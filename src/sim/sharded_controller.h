@@ -20,7 +20,6 @@
 #pragma once
 
 #include <deque>
-#include <map>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -34,6 +33,13 @@ class ShardedController {
  public:
   explicit ShardedController(EngineHost& host);
   ~ShardedController();
+
+  /// Profiler stage complete: joins (or opens) the prediction barrier at the
+  /// current instant (§5l). The barrier speculates pure predictions across
+  /// the worker pool, commits them serially in registration order, and
+  /// schedules each invocation's admission after profiler_delay — the serial
+  /// path's per-event predict/schedule sequence, batched.
+  void enqueue_prediction(InvocationId id);
 
   /// Profiled invocation enters the scheduling layer: assigns its shard
   /// (id-based stateless dispatch, §6.4), rejects invocations that can never
@@ -57,10 +63,15 @@ class ShardedController {
   /// barrier event.
   void pump(ShardId shard);
 
-  /// The barrier event: pops one invocation per registered shard, runs the
-  /// speculate phase across the worker pool, then commits serially in
-  /// registration order and re-pumps the member shards.
+  /// The barrier event: pops up to EngineConfig::sched_batch_depth
+  /// invocations per registered shard, runs the speculate phase across the
+  /// worker pool, then commits serially in registration order and re-pumps
+  /// the member shards.
   void run_barrier(SimTime at);
+
+  /// The prediction barrier event (§5l): parallel Policy::speculate_predict
+  /// memos, serial commit_predict/predict + admission scheduling.
+  void run_pred_barrier(SimTime at);
 
   /// Applies one member's decision: the old monolithic try_place, with the
   /// Step-4 selection either pre-computed (speculated) or run serially here.
@@ -80,11 +91,21 @@ class ShardedController {
   /// engine's "pump already scheduled" flag).
   std::vector<bool> shard_registered_;
 
-  /// Pending decision batches keyed by barrier timestamp. An entry is
-  /// removed before its members are processed, so same-time registrations
-  /// made by later handlers open a fresh batch with a fresh (later) event —
-  /// exactly where the serial engine's per-shard events would have landed.
-  std::map<SimTime, std::vector<ShardId>> batches_;
+  /// Pending decision batches, one (timestamp, members) pair per barrier —
+  /// a flat vector instead of a time-keyed map because only a handful of
+  /// barriers are ever outstanding, so a linear scan beats tree lookups
+  /// (§5l). An entry is removed before its members are processed, so
+  /// same-time registrations made by later handlers open a fresh batch with
+  /// a fresh (later) event — exactly where the serial engine's per-shard
+  /// events would have landed.
+  std::vector<std::pair<SimTime, std::vector<ShardId>>> batches_;
+  /// Retired member vectors, recycled to keep the hot path allocation-free.
+  std::vector<std::vector<ShardId>> batch_spare_;
+
+  /// Pending prediction barriers, same flat layout and erase-before-process
+  /// discipline as batches_.
+  std::vector<std::pair<SimTime, std::vector<InvocationId>>> pred_batches_;
+  std::vector<std::vector<InvocationId>> pred_spare_;
 
   std::deque<InvocationId> waiting_;  // parked until capacity frees
 

@@ -1,0 +1,20 @@
+// libra-lint fixture: flat-hot-path stays quiet on flat index-addressed
+// members, and a reasoned ALLOW covers the one deliberate map member (a
+// setup-time table that is never touched per decision).
+#include <map>
+#include <vector>
+
+namespace fixture {
+
+class Store {
+ public:
+  void note(long id);
+
+ private:
+  std::vector<double> by_slot_;
+  std::vector<std::vector<long>> per_node_;
+  // LIBRA_LINT_ALLOW(flat-hot-path): setup-time quota table, not touched per decision
+  std::map<int, double> quotas_;
+};
+
+}  // namespace fixture

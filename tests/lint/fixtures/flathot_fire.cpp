@@ -1,0 +1,27 @@
+// libra-lint fixture: flat-hot-path fires three times when analyzed under a
+// designated hot-path rule path — an unordered_map member, a std::map
+// member, and a map nested inside a vector member (still a map per element).
+// Locals inside member functions never fire: the check is about resident
+// per-decision state, not scratch aggregation.
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+class Store {
+ public:
+  void note(long id) {
+    std::map<long, double> scratch;  // local: clean
+    scratch[id] = 1.0;
+  }
+
+ private:
+  std::unordered_map<long, double> by_id_;
+  std::map<int, std::string> names_;
+  std::vector<std::map<int, double>> per_node_;
+  std::vector<long> order_;  // flat member: clean
+};
+
+}  // namespace fixture

@@ -168,6 +168,33 @@ TEST(LintLedger, OnlyAppliesToLedgerFiles) {
   EXPECT_TRUE(fs.empty());
 }
 
+// ---- flat-hot-path ----
+
+TEST(LintFlatHotPath, FiresOnMapMembersIncludingNested) {
+  const auto fs = run_fixture("flathot_fire.cpp", "src/sim/engine.h",
+                              Check::kFlatHotPath);
+  // unordered_map member, std::map member, vector-of-maps member; the local
+  // scratch map and the flat vector member stay clean.
+  EXPECT_EQ(count_of(fs, Check::kFlatHotPath, false), 3);
+}
+
+TEST(LintFlatHotPath, FlatMembersAndReasonedAllowAreClean) {
+  const auto fs = run_fixture("flathot_clean.cpp", "src/core/harvest_pool.h",
+                              Check::kFlatHotPath);
+  EXPECT_EQ(count_of(fs, Check::kFlatHotPath, false), 0);
+  EXPECT_EQ(count_of(fs, Check::kFlatHotPath, true), 1);
+  ASSERT_FALSE(fs.empty());
+  EXPECT_FALSE(fs[0].suppression_reason.empty());
+}
+
+TEST(LintFlatHotPath, OnlyAppliesToDesignatedFiles) {
+  // The same map members outside the hot-path file list are policy-free:
+  // libra_policy.h keeps its bookkeeping maps without ALLOW churn.
+  const auto fs = run_fixture("flathot_fire.cpp", "src/core/libra_policy.h",
+                              Check::kFlatHotPath);
+  EXPECT_TRUE(fs.empty());
+}
+
 // ---- suppression grammar ----
 
 TEST(LintSuppression, ReasonedAllowCoversNextLineOnly) {

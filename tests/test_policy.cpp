@@ -59,6 +59,28 @@ TEST(LibraPolicy, SafetyWorstSlowdownIsSmall) {
   EXPECT_GT(worst, -0.05);
 }
 
+TEST(LibraPolicy, RawPredictionStashDrainsWithTheLiveSet) {
+  // The trust layer stashes the raw model prediction per invocation so
+  // on_complete can score the model. Before §5l the stash leaked on loss
+  // paths (evictions, crashes) that never reach on_complete; on_finalized
+  // now drops the entry for every terminal record, so after a full run the
+  // bookkeeping must be empty — the invariant auditor asserts the same
+  // boundedness (stash ⊆ live set) after every sampled engine event.
+  LibraPolicyConfig cfg;
+  cfg.trust_enabled = true;
+  ProfilerConfig pcfg;
+  auto profiler = std::make_shared<Profiler>(pcfg, catalog());
+  profiler->prewarm(*catalog(), 1234, 30);
+  auto policy = LibraPolicy::with_coverage_scheduler(cfg, profiler);
+  const auto m =
+      exp::run_experiment(exp::single_node_config(), policy,
+                          workload::single_node_trace(*catalog(), 7));
+  EXPECT_GT(m.invocations.size(), 0u);
+  EXPECT_TRUE(policy->raw_pred_ids_for_audit().empty())
+      << policy->raw_pred_ids_for_audit().size()
+      << " raw predictions still stashed after every invocation finalized";
+}
+
 TEST(LibraPolicy, NoSafeguardAllowsRealDegradation) {
   LibraPolicyConfig cfg;
   cfg.safeguard_enabled = false;

@@ -111,6 +111,17 @@ TEST_P(StreamingGolden, RecyclingPreservesGoldenDigest) {
       << "record recycling perturbed the replay for " << c.name;
 }
 
+TEST_P(StreamingGolden, RecyclingWithFourWorkersPreservesGoldenDigest) {
+  // Slot recycling and the parallel speculate/commit barriers must compose:
+  // a recycled slab slot re-used mid-run cannot leak stale state into the
+  // flat store's lookups or the prediction barrier's memo pass.
+  const auto& c = GetParam();
+  EXPECT_EQ(exp::digest_hex(run_streamed(c.name, 4, true)),
+            exp::digest_hex(c.digest))
+      << "record recycling + 4 sched workers perturbed the replay for "
+      << c.name;
+}
+
 INSTANTIATE_TEST_SUITE_P(AllScenarios, StreamingGolden,
                          ::testing::ValuesIn(kGolden),
                          [](const auto& info) {

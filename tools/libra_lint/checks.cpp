@@ -246,6 +246,10 @@ struct MemberDecl {
   bool is_util_mutex = false;
   bool is_std_mutex = false;
   bool exempt = false;  // const / reference / atomic / condition_variable
+  /// Map template name in the declared type ("map" / "unordered_map" / ...),
+  /// empty for non-map members. Includes maps nested inside other templates
+  /// (a vector-of-maps member is still a map per element).
+  std::string map_type;
 };
 
 struct ClassInfo {
@@ -348,6 +352,11 @@ bool classify_member(const Tokens& toks, size_t b, size_t e, bool had_body,
     if (s == "Mutex") out->is_util_mutex = true;
     if (s == "mutex" && i > 0 && stmt[i - 1].text == "::")
       out->is_std_mutex = true;
+    if ((s == "map" || s == "unordered_map" || s == "multimap" ||
+         s == "unordered_multimap") &&
+        i + 1 < stmt.size() && stmt[i + 1].text == "<" &&
+        out->map_type.empty())
+      out->map_type = s;
     if (s == "atomic" || s == "condition_variable" ||
         s == "condition_variable_any")
       out->exempt = true;
@@ -513,6 +522,36 @@ void check_guarded_by(const std::string& rule_path, const Tokens& toks,
   }
 }
 
+// ---- check 6: flat-hot-path ----
+
+void check_flat_hot_path(const std::string& rule_path, const Tokens& toks,
+                         std::vector<Finding>* out) {
+  std::vector<ClassInfo> classes;
+  for (size_t i = 0; i < toks.size();) {
+    if (is_ident(toks[i], "class") || is_ident(toks[i], "struct") ||
+        is_ident(toks[i], "union")) {
+      const size_t next = maybe_parse_class(toks, i, &classes);
+      i = next > i ? next : i + 1;
+    } else {
+      ++i;
+    }
+  }
+  for (const ClassInfo& cls : classes) {
+    for (const MemberDecl& m : cls.members) {
+      if (m.map_type.empty()) continue;
+      out->push_back(
+          {Check::kFlatHotPath, rule_path, m.line,
+           "std::" + m.map_type + " member '" + m.name + "' in " + cls.name +
+               ": per-decision state in the hot-path files lives in flat "
+               "index-addressed vectors/slabs (DESIGN.md §5l) — use "
+               "node/slot-indexed storage, or ALLOW with the reason a map is "
+               "required",
+           false,
+           {}});
+    }
+  }
+}
+
 // ---- check 4: bare-assert ----
 
 void check_bare_assert(const std::string& rule_path, const Tokens& toks,
@@ -665,6 +704,8 @@ std::vector<Finding> analyze_content(const std::string& rule_path,
       check_bare_assert(rule_path, lexed.tokens, &findings);
     if (enabled(opt, Check::kLedgerNarrowing) && in_ledger_files(rule_path))
       check_ledger_narrowing(rule_path, lexed.tokens, &findings);
+    if (enabled(opt, Check::kFlatHotPath) && in_hot_path_files(rule_path))
+      check_flat_hot_path(rule_path, lexed.tokens, &findings);
   }
 
   apply_suppressions(sups, &findings);

@@ -24,6 +24,10 @@
 //   bare-assert             delegated to the shared lexical pass — assert is
 //                           a macro and leaves no distinct AST node, and the
 //                           token scan is already exact.
+//   flat-hot-path           delegated to the shared lexical pass — the
+//                           designated file list and the member-declaration
+//                           grammar are what the check is about; spelled-out
+//                           map members need no type resolution.
 //
 // Findings are deduplicated by (file, line, check) across TUs (headers are
 // parsed once per includer), filtered by the same rule-path scoping as the
@@ -430,6 +434,14 @@ bool run_ast_backend(const std::string& db_path,
       LintOptions bare;
       bare.checks.push_back(Check::kBareAssert);
       for (auto& f : analyze_content(rp, content, bare, nullptr))
+        all.push_back(std::move(f));
+    }
+    if (sink.enabled(Check::kFlatHotPath)) {
+      // Same sharing rationale: the lexical member-declaration scan is the
+      // check's definition, so both backends run it verbatim.
+      LintOptions flat;
+      flat.checks.push_back(Check::kFlatHotPath);
+      for (auto& f : analyze_content(rp, content, flat, nullptr))
         all.push_back(std::move(f));
     }
   }

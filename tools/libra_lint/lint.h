@@ -20,6 +20,12 @@
 //   ledger-narrowing        no float, C-style numeric casts, or implicit
 //                           double->integer narrowing in the harvest-pool /
 //                           conservation-ledger arithmetic files.
+//   flat-hot-path           no std::unordered_map / std::map data members in
+//                           the designated hot-path files (engine,
+//                           cluster_state, sharded_controller, harvest_pool):
+//                           per-decision state lives in flat index-addressed
+//                           vectors/slabs (DESIGN.md §5l); a map member needs
+//                           a reasoned ALLOW.
 //
 // Suppressions: `// LIBRA_LINT_ALLOW(<check>): <reason>` on the finding line
 // or the line directly above; `LIBRA_LINT_ALLOW_FILE(<check>): <reason>`
@@ -45,6 +51,7 @@ enum class Check {
   kGuardedByCoverage,
   kBareAssert,
   kLedgerNarrowing,
+  kFlatHotPath,
   kBadSuppression,  // meta-check: malformed LIBRA_LINT_ALLOW comments
 };
 
@@ -133,6 +140,9 @@ std::string rule_path_of(const std::string& path);
 bool in_sim_core(const std::string& rule_path);
 /// ledger-narrowing scope: harvest-pool / conservation-ledger arithmetic.
 bool in_ledger_files(const std::string& rule_path);
+/// flat-hot-path scope: the per-decision hot-path files refactored to flat
+/// index-addressed storage in §5l.
+bool in_hot_path_files(const std::string& rule_path);
 /// All other checks: anything under src/.
 bool in_src(const std::string& rule_path);
 

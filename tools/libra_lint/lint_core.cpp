@@ -26,6 +26,7 @@ constexpr CheckNameRow kCheckNames[] = {
     {Check::kGuardedByCoverage, "guarded-by-coverage"},
     {Check::kBareAssert, "bare-assert"},
     {Check::kLedgerNarrowing, "ledger-narrowing"},
+    {Check::kFlatHotPath, "flat-hot-path"},
     {Check::kBadSuppression, "bad-suppression"},
 };
 
@@ -56,7 +57,7 @@ bool parse_check(const std::string& name, Check* out) {
 std::vector<Check> all_checks() {
   return {Check::kNondeterminismSource, Check::kUnorderedIteration,
           Check::kGuardedByCoverage, Check::kBareAssert,
-          Check::kLedgerNarrowing};
+          Check::kLedgerNarrowing, Check::kFlatHotPath};
 }
 
 // ---- suppressions ----
@@ -178,6 +179,17 @@ bool in_ledger_files(const std::string& rule_path) {
          rule_path.find("pool_status") != std::string::npos ||
          rule_path.find("pool_event") != std::string::npos ||
          rule_path.find("invariant_auditor") != std::string::npos;
+}
+
+bool in_hot_path_files(const std::string& rule_path) {
+  // "engine." (with the dot) keeps engine_config / engine_host.h out of the
+  // engine stem; the host seam is listed explicitly — its store type IS the
+  // hot-path contract.
+  return rule_path.rfind("src/sim/engine.", 0) == 0 ||
+         rule_path == "src/sim/engine_host.h" ||
+         rule_path.rfind("src/sim/cluster_state", 0) == 0 ||
+         rule_path.rfind("src/sim/sharded_controller", 0) == 0 ||
+         rule_path.rfind("src/core/harvest_pool", 0) == 0;
 }
 
 // ---- compile_commands.json ----
